@@ -1,0 +1,87 @@
+//===- bench/BenchCommon.h - Shared bench-binary plumbing -------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common setup for the per-figure bench binaries: flag parsing, harness
+/// options, the runtime context, and output helpers. Every binary accepts:
+///
+///   --window-ms=N   measured window per trial        (default 150)
+///   --trials=N      best-of trials                   (default 2)
+///   --threads=L     comma list of thread counts      (figure-specific)
+///   --quick         CI smoke mode (tiny windows)
+///   --seed=N        workload RNG seed
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_BENCH_BENCHCOMMON_H
+#define SOLERO_BENCH_BENCHCOMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/CliParser.h"
+#include "support/TablePrinter.h"
+#include "workloads/Harness.h"
+#include "workloads/LockPolicies.h"
+
+namespace solero {
+
+/// Everything a figure binary needs.
+struct BenchEnv {
+  BenchEnv(int Argc, char **Argv) : Args(Argc, Argv) {
+    Quick = Args.getBool("quick", false);
+    Opts.Window = std::chrono::milliseconds(
+        Args.getInt("window-ms", Quick ? 30 : 150));
+    Opts.Warmup = std::chrono::milliseconds(Quick ? 5 : 30);
+    Opts.Trials = static_cast<int>(Args.getInt("trials", Quick ? 1 : 2));
+    Seed = static_cast<uint64_t>(Args.getInt("seed", 0x5eed));
+    Ctx = std::make_unique<RuntimeContext>();
+  }
+
+  /// Thread counts to sweep (paper: 1..16 on the 16-way Power6).
+  std::vector<int> threadList(std::vector<int> Default) {
+    if (Quick && !Args.has("threads"))
+      return {1, 2};
+    return Args.getIntList("threads", std::move(Default));
+  }
+
+  CliParser Args;
+  HarnessOptions Opts;
+  std::unique_ptr<RuntimeContext> Ctx;
+  uint64_t Seed = 0;
+  bool Quick = false;
+};
+
+/// Prints the standard figure banner.
+inline void printBanner(const char *Id, const char *Title,
+                        const char *PaperClaim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", Id, Title);
+  std::printf("Paper: Nakaike & Michael, \"Lock Elision for Read-Only "
+              "Critical Sections in Java\",\n       PLDI 2010.\n");
+  std::printf("Paper result: %s\n", PaperClaim);
+  std::printf("Note: this host is a 1-vCPU container (paper used a 16-way "
+              "Power6); wall-clock\nscalability is compressed. The rmw/op and "
+              "st/op columns are the deterministic\ncoherence-traffic proxies "
+              "(see EXPERIMENTS.md).\n");
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+/// Formats ns/op from a result.
+inline std::string nsPerOp(const BenchResult &R) {
+  return TablePrinter::num(R.Ops ? R.Seconds * 1e9 /
+                                       static_cast<double>(R.Ops)
+                                 : 0.0,
+                           1);
+}
+
+} // namespace solero
+
+#endif // SOLERO_BENCH_BENCHCOMMON_H

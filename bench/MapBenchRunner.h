@@ -1,0 +1,63 @@
+//===- bench/MapBenchRunner.h - Map workload runners ------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the HashMap/TreeMap figure binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_BENCH_MAPBENCHRUNNER_H
+#define SOLERO_BENCH_MAPBENCHRUNNER_H
+
+#include "BenchCommon.h"
+
+#include "collections/JavaHashMap.h"
+#include "collections/JavaTreeMap.h"
+#include "collections/SynchronizedMap.h"
+#include "workloads/MapWorkload.h"
+
+namespace solero {
+
+/// Runs one (map type, policy, thread count, write%) cell.
+template <typename MapT, typename Policy>
+BenchResult runMapBench(BenchEnv &Env, int Threads, unsigned WritePercent,
+                        int NumMaps = 1, bool YieldInReadSection = false) {
+  using Sync = SynchronizedMap<MapT, Policy>;
+  MapWorkloadParams P;
+  P.KeySpace = Env.Args.getInt("keys", 1024); // paper: 1K entries
+  P.WritePercent = WritePercent;
+  P.NumMaps = NumMaps;
+  P.Seed = Env.Seed;
+  P.YieldInReadSection = YieldInReadSection;
+  MapWorkload<Sync> W(P, [&](int) { return std::make_unique<Sync>(*Env.Ctx); });
+  return runThroughput(Threads, Env.Opts, std::ref(W));
+}
+
+/// Builds a one-trial runner for interleaved comparisons (the workload —
+/// including its prefilled maps — is shared across trials).
+template <typename MapT, typename Policy>
+TrialRunner makeMapRunner(BenchEnv &Env, const char *Name, int Threads,
+                          unsigned WritePercent, int NumMaps = 1,
+                          bool YieldInReadSection = false) {
+  using Sync = SynchronizedMap<MapT, Policy>;
+  MapWorkloadParams P;
+  P.KeySpace = Env.Args.getInt("keys", 1024);
+  P.WritePercent = WritePercent;
+  P.NumMaps = NumMaps;
+  P.Seed = Env.Seed;
+  P.YieldInReadSection = YieldInReadSection;
+  auto W = std::make_shared<MapWorkload<Sync>>(
+      P, [&](int) { return std::make_unique<Sync>(*Env.Ctx); });
+  HarnessOptions OneTrial = Env.Opts;
+  OneTrial.Trials = 1;
+  return TrialRunner{Name, [W, Threads, OneTrial] {
+                       return runThroughput(Threads, OneTrial, std::ref(*W));
+                     }};
+}
+
+} // namespace solero
+
+#endif // SOLERO_BENCH_MAPBENCHRUNNER_H

@@ -1,0 +1,73 @@
+//===- bench/fig10_empty_overhead.cpp - Figure 10 ------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 10: lock overhead of an empty synchronized block on one thread.
+/// Columns: Lock (conventional), RWLock, SOLERO, Unelided-SOLERO
+/// (elision disabled), WeakBarrier-SOLERO (conventional entry fence).
+/// The paper reports execution time normalized to Lock: SOLERO cuts the
+/// overhead by ~50%; Unelided-SOLERO costs at most 1.4% over Lock; RWLock
+/// is a ~3x multiple of Lock.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace solero;
+
+namespace {
+
+struct Row {
+  const char *Name;
+  double PaperNormalized; ///< digitized from Figure 10
+  BenchResult Result;
+};
+
+template <typename Policy, typename... Cfg>
+BenchResult runEmpty(BenchEnv &Env, Cfg &&...Config) {
+  Policy P(*Env.Ctx, std::forward<Cfg>(Config)...);
+  return runThroughput(1, Env.Opts, [&](int) {
+    P.read([](ReadGuard &) { return 0; }); // empty read-only block
+  });
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  printBanner("Figure 10", "Empty synchronized block lock overhead (1 thread)",
+              "SOLERO halves the empty-block cost vs Lock; Unelided-SOLERO "
+              "costs <= 1.4% over Lock;\nRWLock is a ~3x multiple of Lock "
+              "(normalized execution time).");
+
+  Row Rows[] = {
+      {"Lock", 1.00, runEmpty<TasukiPolicy>(Env)},
+      {"RWLock", 3.20, runEmpty<RwPolicy>(Env)},
+      {"SOLERO", 0.50, runEmpty<SoleroPolicy>(Env)},
+      {"Unelided-SOLERO", 1.014, runEmpty<SoleroPolicy>(Env,
+                                                        unelidedSoleroConfig())},
+      {"WeakBarrier-SOLERO", 0.40,
+       runEmpty<SoleroPolicy>(Env, weakBarrierSoleroConfig())},
+  };
+
+  double LockNs =
+      Rows[0].Result.Seconds * 1e9 / static_cast<double>(Rows[0].Result.Ops);
+  TablePrinter T({"impl", "ns/op", "norm-time(Lock=1)", "paper-norm",
+                  "rmw/op", "st/op"});
+  for (const Row &R : Rows) {
+    double Ns =
+        R.Result.Seconds * 1e9 / static_cast<double>(R.Result.Ops);
+    T.addRow({R.Name, TablePrinter::num(Ns, 1),
+              TablePrinter::num(Ns / LockNs, 3),
+              TablePrinter::num(R.PaperNormalized, 3),
+              TablePrinter::num(R.Result.rmwPerOp(), 2),
+              TablePrinter::num(R.Result.storesPerOp(), 2)});
+  }
+  T.print();
+  std::printf("\nShape check: SOLERO < WeakBarrier threshold? elided SOLERO "
+              "performs 0 rmw/op and 0 st/op\n(reads never write the lock "
+              "word), Lock performs 1 rmw + 1 store per block.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/fig13_treemap_scaling.cpp - Figure 13 -------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 13: multi-thread TreeMap throughput, normalized to Lock at one
+/// thread. (a) 0% writes: SOLERO near-linear scalability, above both
+/// other implementations; (b) 5% writes: SOLERO improves to ~8 threads
+/// and stays above Lock/RWLock at every thread count; failure ratio
+/// reaches 35% at 16 threads (Figure 15).
+///
+//===----------------------------------------------------------------------===//
+
+#include "MapBenchRunner.h"
+
+using namespace solero;
+
+namespace {
+
+using TreeMapT = JavaTreeMap<int64_t, int64_t>;
+
+void runVariant(BenchEnv &Env, const char *Title, unsigned WritePct,
+                bool FineGrained, const std::vector<int> &Threads,
+                int Rounds) {
+  std::printf("\n--- %s ---\n", Title);
+  TablePrinter T({"threads", "Lock ops/s", "RWLock ops/s", "SOLERO ops/s",
+                  "SOLERO norm", "Lock rmw/op", "SOLERO rmw/op",
+                  "SOLERO fail%"});
+  double LockBase = 0;
+  for (int N : Threads) {
+    int Maps = 1;
+    (void)FineGrained;
+    std::vector<TrialRunner> Runners;
+    Runners.push_back(
+        makeMapRunner<TreeMapT, TasukiPolicy>(Env, "Lock", N, WritePct, Maps));
+    Runners.push_back(
+        makeMapRunner<TreeMapT, RwPolicy>(Env, "RWLock", N, WritePct, Maps));
+    Runners.push_back(
+        makeMapRunner<TreeMapT, SoleroPolicy>(Env, "SOLERO", N, WritePct,
+                                              Maps));
+    std::vector<BenchResult> R = runInterleavedBest(Runners, Rounds);
+    const BenchResult &Lock = R[0], &Rw = R[1], &So = R[2];
+    if (LockBase == 0)
+      LockBase = Lock.OpsPerSec;
+    T.addRow({std::to_string(N), TablePrinter::num(Lock.OpsPerSec, 0),
+              TablePrinter::num(Rw.OpsPerSec, 0),
+              TablePrinter::num(So.OpsPerSec, 0),
+              TablePrinter::num(So.OpsPerSec / LockBase, 2),
+              TablePrinter::num(Lock.rmwPerOp(), 2),
+              TablePrinter::num(So.rmwPerOp(), 2),
+              TablePrinter::percent(So.failureRatio(), 1)});
+  }
+  T.print();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  printBanner("Figure 13", "TreeMap multi-thread throughput",
+              "(a) 0% writes: SOLERO near-linear and highest; (b) 5% "
+              "writes: SOLERO improves to ~8\nthreads, highest at every "
+              "count; 35% failure ratio at 16 threads.");
+  std::vector<int> Threads = Env.threadList({1, 2, 4, 8, 16});
+  int Rounds = static_cast<int>(Env.Args.getInt("rounds", Env.Quick ? 1 : 3));
+  runVariant(Env, "(a) 0% writes", 0, false, Threads, Rounds);
+  runVariant(Env, "(b) 5% writes", 5, false, Threads, Rounds);
+  return 0;
+}

@@ -1,0 +1,97 @@
+//===- bench/fig15_failure_ratio.cpp - Figure 15 ---------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Figure 15: ratio of failed speculative executions of read-only
+/// synchronized blocks in SOLERO vs thread count, for the 5%-writes map
+/// workloads. Paper at 16 threads: HashMap 5% ≈ 23%, TreeMap 5% ≈ 35%,
+/// fine-grained HashMap 5% ≈ 3%; SPECjbb ≈ 0%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "MapBenchRunner.h"
+
+#include "workloads/JbbWorkload.h"
+
+#include "collections/JavaTreeMap.h"
+
+using namespace solero;
+
+namespace {
+
+using HashMapT = JavaHashMap<int64_t, int64_t>;
+using TreeMapT = JavaTreeMap<int64_t, int64_t>;
+
+template <typename Policy>
+BenchResult runJbb(BenchEnv &Env, int Threads) {
+  JbbParams P;
+  P.Warehouses = Threads;
+  P.Seed = Env.Seed;
+  JbbWorkload<Policy> W(*Env.Ctx, P);
+  return runThroughput(Threads, Env.Opts, std::ref(W));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  printBanner("Figure 15",
+              "Speculative-execution failure ratio of read-only blocks",
+              "At 16 threads: HashMap 5% writes ~23%, TreeMap 5% ~35%, "
+              "fine-grained HashMap 5% ~3%,\nSPECjbb ~0%. Rises with thread "
+              "count.");
+  std::vector<int> Threads = Env.threadList({1, 2, 4, 8, 16});
+
+  std::printf("\n--- natural sections (25-100ns: rarely preempted on one "
+              "vCPU; see EXPERIMENTS.md) ---\n");
+  {
+    TablePrinter T({"threads", "HashMap5%", "HashMap5% fine", "TreeMap5%",
+                    "SPECjbb-like"});
+    for (int N : Threads) {
+      BenchResult H = runMapBench<HashMapT, SoleroPolicy>(Env, N, 5);
+      BenchResult HF = runMapBench<HashMapT, SoleroPolicy>(Env, N, 5, N);
+      BenchResult Tr = runMapBench<TreeMapT, SoleroPolicy>(Env, N, 5);
+      BenchResult J = runJbb<SoleroPolicy>(Env, N);
+      T.addRow({std::to_string(N), TablePrinter::percent(H.failureRatio(), 1),
+                TablePrinter::percent(HF.failureRatio(), 1),
+                TablePrinter::percent(Tr.failureRatio(), 1),
+                TablePrinter::percent(J.failureRatio(), 2)});
+    }
+    T.print();
+  }
+
+  std::printf("\n--- widened sections (reader yields mid-section, forcing "
+              "writer overlap as on a real\n16-way machine) ---\n");
+  {
+    // Patient spin tiers: on one vCPU a writer descheduled mid-section
+    // otherwise sends every reader down the inflation path, after which
+    // the permanently-fat lock forbids speculation altogether (0 attempts,
+    // hence 0 failures — the degenerate outcome). Letting readers out-wait
+    // the writer keeps the lock thin, as it would be on a real
+    // multiprocessor where the writer's 100ns section actually completes.
+    RuntimeConfig Patient;
+    Patient.Tiers = SpinTiers{64, 32, 1 << 14};
+    Env.Ctx = std::make_unique<RuntimeContext>(Patient);
+    TablePrinter T({"threads", "HashMap5%", "HashMap5% fine", "TreeMap5%"});
+    for (int N : Threads) {
+      BenchResult H =
+          runMapBench<HashMapT, SoleroPolicy>(Env, N, 5, 1, true);
+      BenchResult HF =
+          runMapBench<HashMapT, SoleroPolicy>(Env, N, 5, N, true);
+      BenchResult Tr =
+          runMapBench<TreeMapT, SoleroPolicy>(Env, N, 5, 1, true);
+      T.addRow({std::to_string(N), TablePrinter::percent(H.failureRatio(), 1),
+                TablePrinter::percent(HF.failureRatio(), 1),
+                TablePrinter::percent(Tr.failureRatio(), 1)});
+    }
+    T.print();
+  }
+  std::printf("\nPaper reference at 16 threads: HashMap5%%=23%%, "
+              "fine-grained=3%%, TreeMap5%%=35%%, SPECjbb~0%%.\n"
+              "Shape checks: failure ratio rises with thread count; "
+              "fine-grained stays far lower\n(writes land on other maps' "
+              "locks); SPECjbb stays ~0 (share-nothing).\n");
+  return 0;
+}

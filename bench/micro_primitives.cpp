@@ -1,0 +1,172 @@
+//===- bench/micro_primitives.cpp - google-benchmark micro suite ----------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Google-benchmark microbenchmarks of the lock primitives themselves:
+/// per-protocol enter/exit latency on the uncontended fast paths, the
+/// plain seqlock, epoch pins, and the read-only elision engine. These are
+/// the building blocks behind Figure 10.
+///
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "core/SoleroLock.h"
+#include "locks/ReadWriteLock.h"
+#include "locks/SeqLock.h"
+#include "locks/TasukiLock.h"
+#include "mm/EpochReclaimer.h"
+#include "runtime/SharedField.h"
+
+using namespace solero;
+
+namespace {
+
+RuntimeContext &ctx() {
+  static RuntimeContext Ctx;
+  return Ctx;
+}
+
+void BM_TasukiEnterExit(benchmark::State &State) {
+  TasukiLock L(ctx());
+  ObjectHeader H;
+  for (auto _ : State) {
+    L.enter(H);
+    L.exit(H);
+  }
+}
+BENCHMARK(BM_TasukiEnterExit);
+
+void BM_TasukiRecursiveEnterExit(benchmark::State &State) {
+  TasukiLock L(ctx());
+  ObjectHeader H;
+  L.enter(H);
+  for (auto _ : State) {
+    L.enter(H);
+    L.exit(H);
+  }
+  L.exit(H);
+}
+BENCHMARK(BM_TasukiRecursiveEnterExit);
+
+void BM_SoleroWriteSection(benchmark::State &State) {
+  SoleroLock L(ctx());
+  ObjectHeader H;
+  for (auto _ : State)
+    L.synchronizedWrite(H, [] {});
+}
+BENCHMARK(BM_SoleroWriteSection);
+
+void BM_SoleroElidedReadSection(benchmark::State &State) {
+  SoleroLock L(ctx());
+  ObjectHeader H;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.synchronizedReadOnly(H, [](ReadGuard &) { return 0; }));
+}
+BENCHMARK(BM_SoleroElidedReadSection);
+
+void BM_SoleroWeakBarrierReadSection(benchmark::State &State) {
+  SoleroConfig Cfg;
+  Cfg.Barriers = BarrierMode::Weak;
+  SoleroLock L(ctx(), Cfg);
+  ObjectHeader H;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.synchronizedReadOnly(H, [](ReadGuard &) { return 0; }));
+}
+BENCHMARK(BM_SoleroWeakBarrierReadSection);
+
+void BM_SoleroUnelidedReadSection(benchmark::State &State) {
+  SoleroConfig Cfg;
+  Cfg.ElideReadOnly = false;
+  SoleroLock L(ctx(), Cfg);
+  ObjectHeader H;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.synchronizedReadOnly(H, [](ReadGuard &) { return 0; }));
+}
+BENCHMARK(BM_SoleroUnelidedReadSection);
+
+void BM_SoleroReadMostlyNoWrite(benchmark::State &State) {
+  SoleroLock L(ctx());
+  ObjectHeader H;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.synchronizedReadMostly(H, [](WriteIntent &) { return 0; }));
+}
+BENCHMARK(BM_SoleroReadMostlyNoWrite);
+
+void BM_SoleroReadMostlyUpgrade(benchmark::State &State) {
+  SoleroLock L(ctx());
+  ObjectHeader H;
+  SharedField<int64_t> D{0};
+  for (auto _ : State)
+    L.synchronizedReadMostly(H, [&](WriteIntent &W) {
+      W.acquireForWrite();
+      D.write(D.read() + 1);
+      return 0;
+    });
+}
+BENCHMARK(BM_SoleroReadMostlyUpgrade);
+
+void BM_RwLockReadSection(benchmark::State &State) {
+  ReadWriteLock L(ctx());
+  for (auto _ : State) {
+    L.readLock();
+    L.readUnlock();
+  }
+}
+BENCHMARK(BM_RwLockReadSection);
+
+void BM_RwLockWriteSection(benchmark::State &State) {
+  ReadWriteLock L(ctx());
+  for (auto _ : State) {
+    L.writeLock();
+    L.writeUnlock();
+  }
+}
+BENCHMARK(BM_RwLockWriteSection);
+
+void BM_PlainSeqLockRead(benchmark::State &State) {
+  SeqLock L;
+  SharedField<int64_t> D{7};
+  for (auto _ : State)
+    benchmark::DoNotOptimize(L.readProtected([&] { return D.read(); }));
+}
+BENCHMARK(BM_PlainSeqLockRead);
+
+void BM_PlainSeqLockWrite(benchmark::State &State) {
+  SeqLock L;
+  SharedField<int64_t> D{0};
+  for (auto _ : State)
+    L.writeProtected([&] { D.write(D.read() + 1); });
+}
+BENCHMARK(BM_PlainSeqLockWrite);
+
+void BM_EpochPinUnpin(benchmark::State &State) {
+  EpochReclaimer R;
+  for (auto _ : State) {
+    R.enter();
+    R.exit();
+  }
+}
+BENCHMARK(BM_EpochPinUnpin);
+
+void BM_SpeculationCheckpointIdle(benchmark::State &State) {
+  for (auto _ : State)
+    speculationCheckpoint();
+}
+BENCHMARK(BM_SpeculationCheckpointIdle);
+
+void BM_ThreadRegistryCurrent(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(&ThreadRegistry::current());
+}
+BENCHMARK(BM_ThreadRegistryCurrent);
+
+} // namespace
+
+BENCHMARK_MAIN();

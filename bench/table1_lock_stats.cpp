@@ -1,0 +1,86 @@
+//===- bench/table1_lock_stats.cpp - Table 1 -------------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Table 1: lock statistics of every benchmark — lock frequency (millions
+/// of critical-section entries per second) and the ratio of read-only
+/// synchronized blocks. Measured under the SOLERO protocol on one thread
+/// (per-thread frequency; the paper measured whole-machine frequency on
+/// 16 cores — see EXPERIMENTS.md for the comparison rule).
+///
+//===----------------------------------------------------------------------===//
+
+#include "MapBenchRunner.h"
+
+#include "workloads/DaCapoLikeWorkload.h"
+#include "workloads/JbbWorkload.h"
+
+using namespace solero;
+
+namespace {
+
+using HashMapT = JavaHashMap<int64_t, int64_t>;
+using TreeMapT = JavaTreeMap<int64_t, int64_t>;
+
+struct PaperRow {
+  const char *Name;
+  double PaperFreq; ///< millions of locks per second (Table 1)
+  double PaperRo;   ///< read-only percentage (Table 1)
+};
+
+void addRow(TablePrinter &T, const PaperRow &P, const BenchResult &R) {
+  T.addRow({P.Name, TablePrinter::num(R.locksPerSec() / 1e6, 2),
+            TablePrinter::num(P.PaperFreq, 1),
+            TablePrinter::percent(R.readOnlyRatio(), 1),
+            TablePrinter::num(P.PaperRo, 1) + "%"});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  printBanner("Table 1", "Lock statistics per benchmark",
+              "Lock frequency (M locks/s) and read-only lock ratio: Empty "
+              "12.8/100%, HashMap 5.4/100%\nand 5.3/95%, TreeMap 1.7/100% "
+              "and 1.6/95%, SPECjbb 6.2/53.6%, h2 2.0/0%, tomcat 7.3/3.7%,\n"
+              "tradebeans 1.7/0.3%, tradesoap 3.4/11.4%.");
+  TablePrinter T({"benchmark", "lockM/s", "paper lockM/s", "read-only%",
+                  "paper read-only%"});
+
+  {
+    SoleroPolicy P(*Env.Ctx);
+    BenchResult R = runThroughput(1, Env.Opts, [&](int) {
+      P.read([](ReadGuard &) { return 0; });
+    });
+    addRow(T, {"Empty", 12.8, 100.0}, R);
+  }
+  addRow(T, {"HashMap (0% writes)", 5.4, 100.0},
+         runMapBench<HashMapT, SoleroPolicy>(Env, 1, 0));
+  addRow(T, {"HashMap (5% writes)", 5.3, 95.0},
+         runMapBench<HashMapT, SoleroPolicy>(Env, 1, 5));
+  addRow(T, {"TreeMap (0% writes)", 1.7, 100.0},
+         runMapBench<TreeMapT, SoleroPolicy>(Env, 1, 0));
+  addRow(T, {"TreeMap (5% writes)", 1.6, 95.0},
+         runMapBench<TreeMapT, SoleroPolicy>(Env, 1, 5));
+  {
+    JbbParams P;
+    P.Warehouses = 1;
+    P.Seed = Env.Seed;
+    JbbWorkload<SoleroPolicy> W(*Env.Ctx, P);
+    addRow(T, {"SPECjbb-like", 6.2, 53.6},
+           runThroughput(1, Env.Opts, std::ref(W)));
+  }
+  const PaperRow DaCapoRows[] = {{"h2-like", 2.0, 0.0},
+                                 {"tomcat-like", 7.3, 3.7},
+                                 {"tradebeans-like", 1.7, 0.3},
+                                 {"tradesoap-like", 3.4, 11.4}};
+  for (int I = 0; I < 4; ++I) {
+    DaCapoLikeWorkload<SoleroPolicy> W(*Env.Ctx, DaCapoProfiles[I], 64,
+                                       Env.Seed);
+    addRow(T, DaCapoRows[I], runThroughput(1, Env.Opts, std::ref(W)));
+  }
+  T.print();
+  return 0;
+}

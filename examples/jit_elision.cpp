@@ -1,0 +1,156 @@
+//===- examples/jit_elision.cpp - The JIT view of SOLERO -------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// Shows the Section 3.2 pipeline end to end: a small guest "Java"
+/// program in CSIR bytecode, the classifier's verdict on each
+/// synchronized block (with reasons), the @SoleroReadOnly annotation
+/// override, and profile-guided read-mostly reclassification (Section 5) —
+/// then runs the program and prints the elision statistics.
+///
+///   build/examples/jit_elision
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "jit/Disassembler.h"
+#include "jit/Interpreter.h"
+#include "jit/MethodBuilder.h"
+
+using namespace solero;
+using namespace solero::jit;
+
+namespace {
+
+Module buildGuestProgram() {
+  Module M;
+  M.NumStatics = 2;
+
+  // int getConfig(obj)          — synchronized read: elidable.
+  {
+    MethodBuilder B("getConfig", 1, 2);
+    B.load(0).syncEnter();
+    B.load(0).getField(0).store(1);
+    B.syncExit();
+    B.load(1).ret();
+    M.addMethod(B.take());
+  }
+  // int updateConfig(obj, v)    — synchronized write: not elidable.
+  {
+    MethodBuilder B("updateConfig", 2, 2);
+    B.load(0).syncEnter();
+    B.load(0).load(1).putField(0);
+    B.syncExit();
+    B.load(1).ret();
+    M.addMethod(B.take());
+  }
+  // int helper(v)               — pure helper, provably read-only.
+  {
+    MethodBuilder B("scaleBy3", 1, 1);
+    B.load(0).constant(3).mul().ret();
+    M.addMethod(B.take());
+  }
+  // int getScaled(obj)          — invokes the pure helper inside the
+  //                               block: still elidable (inter-procedural).
+  {
+    MethodBuilder B("getScaled", 1, 2);
+    B.load(0).syncEnter();
+    B.load(0).getField(0).invoke(M.methodId("scaleBy3")).store(1);
+    B.syncExit();
+    B.load(1).ret();
+    M.addMethod(B.take());
+  }
+  // int audit(v)                — writes a static: impure.
+  {
+    MethodBuilder B("audit", 1, 1);
+    B.load(0).putStatic(0).load(0).ret();
+    M.addMethod(B.take());
+  }
+  // int getAudited(obj)         — calls the impure helper: the analysis
+  //                               must refuse... but the method carries
+  //                               @SoleroReadOnly, so it elides anyway
+  //                               (the paper's annotation use case).
+  {
+    MethodBuilder B("getAuditedAnnotated", 1, 2);
+    B.annotateReadOnly();
+    B.load(0).syncEnter();
+    B.load(0).getField(0).invoke(M.methodId("audit")).store(1);
+    B.syncExit();
+    B.load(1).ret();
+    M.addMethod(B.take());
+  }
+  // int refreshIfStale(obj, stale) — a write behind a rarely-true flag:
+  //                               Writing statically, ReadMostly once a
+  //                               profile shows the write is cold.
+  {
+    MethodBuilder B("refreshIfStale", 2, 2);
+    auto Fresh = B.newLabel();
+    B.load(0).syncEnter();
+    B.load(1).jumpIfZero(Fresh);
+    B.load(0).constant(999).putField(1);
+    B.bind(Fresh);
+    B.load(0).getField(0).pop();
+    B.syncExit();
+    B.constant(0).ret();
+    M.addMethod(B.take());
+  }
+  return M;
+}
+
+} // namespace
+
+int main() {
+  RuntimeContext Ctx;
+  Module M = buildGuestProgram();
+
+  Interpreter::Options Opts;
+  Opts.CollectProfile = true;
+  Interpreter I(Ctx, std::move(M), Opts);
+
+  std::printf("=== Static classification (the JIT's Section 3.2 pass) "
+              "===\n\n%s\n",
+              disassembleModule(I.module(), &I.classification()).c_str());
+
+  GuestObject *Config = I.allocateObject();
+  Config->F[0].write(17);
+
+  std::printf("=== Execution ===\n");
+  std::printf("getConfig       -> %lld\n",
+              static_cast<long long>(
+                  I.invoke("getConfig", {Value::ofRef(Config)}).asInt()));
+  std::printf("getScaled       -> %lld\n",
+              static_cast<long long>(
+                  I.invoke("getScaled", {Value::ofRef(Config)}).asInt()));
+  std::printf("updateConfig 21 -> %lld\n",
+              static_cast<long long>(
+                  I.invoke("updateConfig",
+                           {Value::ofRef(Config), Value::ofInt(21)})
+                      .asInt()));
+  std::printf("getAuditedAnnotated -> %lld\n",
+              static_cast<long long>(
+                  I.invoke("getAuditedAnnotated", {Value::ofRef(Config)})
+                      .asInt()));
+
+  // Profile refreshIfStale: 500 fresh calls, 1 stale.
+  for (int N = 0; N < 500; ++N)
+    I.invoke("refreshIfStale", {Value::ofRef(Config), Value::ofInt(0)});
+  I.invoke("refreshIfStale", {Value::ofRef(Config), Value::ofInt(1)});
+
+  std::printf("\n=== Profile-guided reclassification (Section 5) ===\n");
+  uint32_t RId = I.module().methodId("refreshIfStale");
+  std::printf("before: %s\n",
+              regionKindName(I.classification().regions(RId)[0].Kind));
+  I.reclassifyWithProfile();
+  std::printf("after:  %s (%s)\n",
+              regionKindName(I.classification().regions(RId)[0].Kind),
+              I.classification().regions(RId)[0].Reason.c_str());
+
+  ProtocolCounters C = ThreadRegistry::instance().totalCounters();
+  std::printf("\nelision attempts: %llu, successes: %llu\n",
+              static_cast<unsigned long long>(C.ElisionAttempts),
+              static_cast<unsigned long long>(C.ElisionSuccesses));
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- examples/quickstart.cpp - SOLERO in five minutes --------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The smallest complete SOLERO program: one shared record protected by a
+/// SOLERO lock. Readers run speculatively and never write the lock word;
+/// the writer acquires it with one CAS and publishes a counter increment.
+///
+///   build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/SoleroLock.h"
+#include "runtime/SharedField.h"
+
+using namespace solero;
+
+namespace {
+
+/// A shared record: like every Java object, it carries a lock word; the
+/// two data fields are speculation-safe SharedFields.
+struct Account {
+  ObjectHeader Monitor;
+  SharedField<int64_t> Balance{1000};
+  SharedField<int64_t> Version{0};
+};
+
+} // namespace
+
+int main() {
+  RuntimeContext Runtime; // monitor table + async validation events
+  SoleroLock Lock(Runtime);
+  Account Acct;
+
+  // A writer moves money; readers check the invariant "version tracks
+  // every balance change" — a two-field consistency that a torn read
+  // would break.
+  std::thread Writer([&] {
+    for (int I = 1; I <= 100000; ++I)
+      Lock.synchronizedWrite(Acct.Monitor, [&] {
+        Acct.Balance.write(1000 + I);
+        Acct.Version.write(I);
+      });
+  });
+
+  std::vector<std::thread> Readers;
+  for (int R = 0; R < 3; ++R)
+    Readers.emplace_back([&] {
+      for (int I = 0; I < 100000; ++I) {
+        auto Snapshot = Lock.synchronizedReadOnly(
+            Acct.Monitor, [&](ReadGuard &) {
+              // Speculative: no atomic RMW, no lock-word store.
+              return std::pair<int64_t, int64_t>(Acct.Balance.read(),
+                                                 Acct.Version.read());
+            });
+        if (Snapshot.first != 1000 + Snapshot.second) {
+          std::fprintf(stderr, "INCONSISTENT SNAPSHOT: %lld vs %lld\n",
+                       static_cast<long long>(Snapshot.first),
+                       static_cast<long long>(Snapshot.second));
+          return;
+        }
+      }
+    });
+
+  Writer.join();
+  for (auto &T : Readers)
+    T.join();
+
+  ProtocolCounters C = ThreadRegistry::instance().totalCounters();
+  std::printf("final balance: %lld (version %lld)\n",
+              static_cast<long long>(Acct.Balance.read()),
+              static_cast<long long>(Acct.Version.read()));
+  std::printf("read-only sections: %llu, elided successfully: %llu, "
+              "failed+retried: %llu\n",
+              static_cast<unsigned long long>(C.ReadOnlyEntries),
+              static_cast<unsigned long long>(C.ElisionSuccesses),
+              static_cast<unsigned long long>(C.ElisionFailures));
+  std::printf("every reader snapshot was consistent — reads were validated "
+              "against the lock word,\nnot locked.\n");
+  return 0;
+}

@@ -1,0 +1,214 @@
+//===- collections/JavaHashMap.h - Chained hash map -------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A java.util.HashMap-style chained hash map (the paper's HashMap
+/// microbenchmark substrate): a power-of-two bucket array of singly-linked
+/// chains, load factor 0.75, doubling resize.
+///
+/// Like java.util.HashMap, the map itself is unsynchronized; callers wrap
+/// operations in critical sections of whatever lock protocol they choose
+/// (see workloads/LockPolicies.h). What makes it SOLERO-ready:
+///
+///  - Every field a reader touches is a SharedField (relaxed atomic), so
+///    speculative readers racing a locked writer read stale or torn-free
+///    garbage, never UB; end-of-section validation rejects it.
+///  - Readers pin an epoch and writers retire unlinked nodes/tables through
+///    EpochReclaimer into a TypeStablePool, so stale pointers always point
+///    at well-formed nodes (the JVM-GC guarantee, DESIGN.md).
+///  - Traversal loops run under speculationLoopGuard, the paper's
+///    async-check-point mechanism, so inconsistent-read cycles abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_COLLECTIONS_JAVAHASHMAP_H
+#define SOLERO_COLLECTIONS_JAVAHASHMAP_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "mm/EpochReclaimer.h"
+#include "mm/TypeStablePool.h"
+#include "runtime/ReadGuard.h"
+#include "runtime/SharedField.h"
+#include "support/Assert.h"
+
+namespace solero {
+
+/// Chained hash map over trivially copyable keys and values.
+template <typename K, typename V> class JavaHashMap {
+public:
+  using KeyType = K;
+  using ValueType = V;
+
+  /// \p InitialCapacity is rounded up to a power of two.
+  explicit JavaHashMap(std::size_t InitialCapacity = 16) {
+    std::size_t Cap = 16;
+    while (Cap < InitialCapacity)
+      Cap <<= 1;
+    TablePtr.write(newTable(Cap));
+  }
+
+  ~JavaHashMap() {
+    Reclaimer.drainAll();
+    Table *T = TablePtr.read();
+    for (std::size_t I = 0; I <= T->Mask; ++I)
+      for (Node *N = T->Buckets[I].read(); N;) {
+        Node *Next = N->Next.read();
+        Pool.deallocate(N);
+        N = Next;
+      }
+    delete T;
+  }
+
+  JavaHashMap(const JavaHashMap &) = delete;
+  JavaHashMap &operator=(const JavaHashMap &) = delete;
+
+  /// Read-only lookup; safe to run speculatively inside an elided section.
+  std::optional<V> get(const K &Key) const {
+    EpochReclaimer::Pin P(Reclaimer);
+    const uint64_t H = hashOf(Key);
+    const Table *T = TablePtr.read();
+    uint32_t Steps = 0;
+    for (Node *N = T->Buckets[H & T->Mask].read(); N; N = N->Next.read()) {
+      speculationLoopGuard(Steps);
+      if (N->Hash.read() == H && N->Key.read() == Key)
+        return N->Value.read();
+    }
+    return std::nullopt;
+  }
+
+  /// Read-only membership test; speculation-safe.
+  bool contains(const K &Key) const { return get(Key).has_value(); }
+
+  /// Inserts or updates. Caller must hold the protecting lock for writing.
+  /// \returns true if the key was newly inserted.
+  bool put(const K &Key, const V &Value) {
+    const uint64_t H = hashOf(Key);
+    Table *T = TablePtr.read();
+    SharedField<Node *> &Bucket = T->Buckets[H & T->Mask];
+    for (Node *N = Bucket.read(); N; N = N->Next.read()) {
+      if (N->Hash.read() == H && N->Key.read() == Key) {
+        N->Value.write(Value);
+        return false;
+      }
+    }
+    Node *N = Pool.allocate();
+    N->Hash.write(H);
+    N->Key.write(Key);
+    N->Value.write(Value);
+    N->Next.write(Bucket.read());
+    Bucket.write(N);
+    Count.write(Count.read() + 1);
+    if (static_cast<std::size_t>(Count.read()) >
+        (T->Mask + 1) * 3 / 4) // load factor 0.75, as in java.util.HashMap
+      resize(T);
+    return true;
+  }
+
+  /// Removes a key. Caller must hold the protecting lock for writing.
+  /// \returns true if the key was present.
+  bool remove(const K &Key) {
+    const uint64_t H = hashOf(Key);
+    Table *T = TablePtr.read();
+    SharedField<Node *> &Bucket = T->Buckets[H & T->Mask];
+    Node *Prev = nullptr;
+    for (Node *N = Bucket.read(); N; Prev = N, N = N->Next.read()) {
+      if (N->Hash.read() != H || !(N->Key.read() == Key))
+        continue;
+      if (Prev)
+        Prev->Next.write(N->Next.read());
+      else
+        Bucket.write(N->Next.read());
+      Count.write(Count.read() - 1);
+      retireNode(N);
+      return true;
+    }
+    return false;
+  }
+
+  /// Number of entries. Speculation-safe.
+  std::size_t size() const {
+    return static_cast<std::size_t>(Count.read());
+  }
+
+  /// Current bucket count (for tests).
+  std::size_t capacity() const { return TablePtr.read()->Mask + 1; }
+
+  /// Visits every entry. Caller must hold the protecting lock (read or
+  /// write); intended for verification and prefill, not speculation.
+  template <typename Fn> void forEach(Fn &&F) const {
+    const Table *T = TablePtr.read();
+    for (std::size_t I = 0; I <= T->Mask; ++I)
+      for (Node *N = T->Buckets[I].read(); N; N = N->Next.read())
+        F(N->Key.read(), N->Value.read());
+  }
+
+private:
+  struct Node {
+    SharedField<uint64_t> Hash;
+    SharedField<K> Key;
+    SharedField<V> Value;
+    SharedField<Node *> Next;
+  };
+
+  struct Table {
+    explicit Table(std::size_t Cap)
+        : Buckets(new SharedField<Node *>[Cap]), Mask(Cap - 1) {}
+    std::unique_ptr<SharedField<Node *>[]> Buckets;
+    std::size_t Mask;
+  };
+
+  static uint64_t hashOf(const K &Key) {
+    // SplitMix64 finalizer over std::hash: strong bit diffusion so the
+    // low bits used for bucket selection are well mixed.
+    uint64_t Z = static_cast<uint64_t>(std::hash<K>{}(Key));
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  static Table *newTable(std::size_t Cap) { return new Table(Cap); }
+
+  void retireNode(Node *N) {
+    Reclaimer.retire(
+        N,
+        +[](void *Obj, void *Arg) {
+          static_cast<TypeStablePool<Node> *>(Arg)->deallocate(
+              static_cast<Node *>(Obj));
+        },
+        &Pool);
+  }
+
+  void resize(Table *Old) {
+    std::size_t NewCap = (Old->Mask + 1) * 2;
+    Table *T = newTable(NewCap);
+    for (std::size_t I = 0; I <= Old->Mask; ++I) {
+      Node *N = Old->Buckets[I].read();
+      while (N) {
+        Node *Next = N->Next.read();
+        SharedField<Node *> &B = T->Buckets[N->Hash.read() & T->Mask];
+        N->Next.write(B.read());
+        B.write(N);
+        N = Next;
+      }
+    }
+    TablePtr.write(T);
+    Reclaimer.retire(
+        Old, +[](void *Obj, void *) { delete static_cast<Table *>(Obj); },
+        nullptr);
+  }
+
+  SharedField<Table *> TablePtr{nullptr};
+  SharedField<int64_t> Count{0};
+  TypeStablePool<Node> Pool;
+  mutable EpochReclaimer Reclaimer;
+};
+
+} // namespace solero
+
+#endif // SOLERO_COLLECTIONS_JAVAHASHMAP_H

@@ -1,0 +1,441 @@
+//===- collections/JavaTreeMap.h - Red-black tree map -----------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A java.util.TreeMap-style red-black tree (the paper's TreeMap
+/// microbenchmark substrate). The algorithms are the classic CLR ones as
+/// implemented in the JDK: insertion and deletion with recoloring /
+/// rotation fixups, deletion via successor key-copy.
+///
+/// Speculation-safety follows the same recipe as JavaHashMap: SharedField
+/// for every reader-visible field, epoch-pinned readers, type-stable node
+/// recycling, and speculationLoopGuard in the descent loop (tree descents
+/// under inconsistent reads are exactly the "infinite loops induced by
+/// inconsistent reads" the paper's async events exist for).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_COLLECTIONS_JAVATREEMAP_H
+#define SOLERO_COLLECTIONS_JAVATREEMAP_H
+
+#include <cstdint>
+#include <optional>
+
+#include "mm/EpochReclaimer.h"
+#include "mm/TypeStablePool.h"
+#include "runtime/ReadGuard.h"
+#include "runtime/SharedField.h"
+#include "support/Assert.h"
+
+namespace solero {
+
+/// Ordered map over trivially copyable keys (compared with <) and values.
+template <typename K, typename V> class JavaTreeMap {
+public:
+  using KeyType = K;
+  using ValueType = V;
+
+  JavaTreeMap() = default;
+
+  ~JavaTreeMap() {
+    Reclaimer.drainAll();
+    freeSubtree(Root.read());
+  }
+
+  JavaTreeMap(const JavaTreeMap &) = delete;
+  JavaTreeMap &operator=(const JavaTreeMap &) = delete;
+
+  /// Read-only lookup; safe to run speculatively inside an elided section.
+  std::optional<V> get(const K &Key) const {
+    EpochReclaimer::Pin P(Reclaimer);
+    uint32_t Steps = 0;
+    Node *N = Root.read();
+    while (N) {
+      speculationLoopGuard(Steps);
+      K NK = N->Key.read();
+      if (Key < NK)
+        N = N->Left.read();
+      else if (NK < Key)
+        N = N->Right.read();
+      else
+        return N->Value.read();
+    }
+    return std::nullopt;
+  }
+
+  bool contains(const K &Key) const { return get(Key).has_value(); }
+
+  /// Smallest key, if any. Read-only; speculation-safe.
+  std::optional<K> firstKey() const {
+    EpochReclaimer::Pin P(Reclaimer);
+    uint32_t Steps = 0;
+    Node *N = Root.read();
+    if (!N)
+      return std::nullopt;
+    for (Node *L = N->Left.read(); L; L = N->Left.read()) {
+      speculationLoopGuard(Steps);
+      N = L;
+    }
+    return N->Key.read();
+  }
+
+  /// Inserts or updates. Caller must hold the protecting lock for writing.
+  /// \returns true if the key was newly inserted.
+  bool put(const K &Key, const V &Value) {
+    Node *T = Root.read();
+    if (!T) {
+      Node *N = makeNode(Key, Value, nullptr);
+      N->Color.write(Black);
+      Root.write(N);
+      Count.write(Count.read() + 1);
+      return true;
+    }
+    Node *Parent;
+    for (;;) {
+      Parent = T;
+      K TK = T->Key.read();
+      if (Key < TK) {
+        T = T->Left.read();
+        if (!T)
+          break;
+      } else if (TK < Key) {
+        T = T->Right.read();
+        if (!T)
+          break;
+      } else {
+        T->Value.write(Value);
+        return false;
+      }
+    }
+    Node *N = makeNode(Key, Value, Parent);
+    if (Key < Parent->Key.read())
+      Parent->Left.write(N);
+    else
+      Parent->Right.write(N);
+    fixAfterInsertion(N);
+    Count.write(Count.read() + 1);
+    return true;
+  }
+
+  /// Removes a key. Caller must hold the protecting lock for writing.
+  /// \returns true if the key was present.
+  bool remove(const K &Key) {
+    Node *P = findNode(Key);
+    if (!P)
+      return false;
+    deleteEntry(P);
+    Count.write(Count.read() - 1);
+    return true;
+  }
+
+  std::size_t size() const { return static_cast<std::size_t>(Count.read()); }
+
+  /// In-order visit. Caller must hold the protecting lock; for
+  /// verification and prefill, not speculation.
+  template <typename Fn> void forEachInOrder(Fn &&F) const {
+    visitInOrder(Root.read(), F);
+  }
+
+  /// Verifies the red-black invariants (for tests). Caller must hold the
+  /// protecting lock. \returns the black height, or -1 on violation.
+  int checkRedBlackInvariants() const {
+    Node *R = Root.read();
+    if (R && R->Color.read() != Black)
+      return -1;
+    return blackHeight(R);
+  }
+
+private:
+  static constexpr uint8_t Red = 0;
+  static constexpr uint8_t Black = 1;
+
+  struct Node {
+    SharedField<K> Key;
+    SharedField<V> Value;
+    SharedField<Node *> Left;
+    SharedField<Node *> Right;
+    SharedField<Node *> Parent;
+    SharedField<uint8_t> Color;
+  };
+
+  Node *makeNode(const K &Key, const V &Value, Node *Parent) {
+    Node *N = Pool.allocate();
+    N->Key.write(Key);
+    N->Value.write(Value);
+    N->Left.write(nullptr);
+    N->Right.write(nullptr);
+    N->Parent.write(Parent);
+    N->Color.write(Red);
+    return N;
+  }
+
+  void retireNode(Node *N) {
+    Reclaimer.retire(
+        N,
+        +[](void *Obj, void *Arg) {
+          static_cast<TypeStablePool<Node> *>(Arg)->deallocate(
+              static_cast<Node *>(Obj));
+        },
+        &Pool);
+  }
+
+  Node *findNode(const K &Key) const {
+    Node *N = Root.read();
+    while (N) {
+      K NK = N->Key.read();
+      if (Key < NK)
+        N = N->Left.read();
+      else if (NK < Key)
+        N = N->Right.read();
+      else
+        return N;
+    }
+    return nullptr;
+  }
+
+  // --- JDK TreeMap helpers (null-tolerant accessors) ---------------------
+
+  static Node *parentOf(Node *N) { return N ? N->Parent.read() : nullptr; }
+  static Node *leftOf(Node *N) { return N ? N->Left.read() : nullptr; }
+  static Node *rightOf(Node *N) { return N ? N->Right.read() : nullptr; }
+  static uint8_t colorOf(Node *N) { return N ? N->Color.read() : Black; }
+  static void setColor(Node *N, uint8_t C) {
+    if (N)
+      N->Color.write(C);
+  }
+
+  void rotateLeft(Node *P) {
+    if (!P)
+      return;
+    Node *R = P->Right.read();
+    P->Right.write(R->Left.read());
+    if (R->Left.read())
+      R->Left.read()->Parent.write(P);
+    R->Parent.write(P->Parent.read());
+    if (!P->Parent.read())
+      Root.write(R);
+    else if (P->Parent.read()->Left.read() == P)
+      P->Parent.read()->Left.write(R);
+    else
+      P->Parent.read()->Right.write(R);
+    R->Left.write(P);
+    P->Parent.write(R);
+  }
+
+  void rotateRight(Node *P) {
+    if (!P)
+      return;
+    Node *L = P->Left.read();
+    P->Left.write(L->Right.read());
+    if (L->Right.read())
+      L->Right.read()->Parent.write(P);
+    L->Parent.write(P->Parent.read());
+    if (!P->Parent.read())
+      Root.write(L);
+    else if (P->Parent.read()->Right.read() == P)
+      P->Parent.read()->Right.write(L);
+    else
+      P->Parent.read()->Left.write(L);
+    L->Right.write(P);
+    P->Parent.write(L);
+  }
+
+  void fixAfterInsertion(Node *X) {
+    X->Color.write(Red);
+    while (X && X != Root.read() && colorOf(parentOf(X)) == Red) {
+      if (parentOf(X) == leftOf(parentOf(parentOf(X)))) {
+        Node *Y = rightOf(parentOf(parentOf(X)));
+        if (colorOf(Y) == Red) {
+          setColor(parentOf(X), Black);
+          setColor(Y, Black);
+          setColor(parentOf(parentOf(X)), Red);
+          X = parentOf(parentOf(X));
+        } else {
+          if (X == rightOf(parentOf(X))) {
+            X = parentOf(X);
+            rotateLeft(X);
+          }
+          setColor(parentOf(X), Black);
+          setColor(parentOf(parentOf(X)), Red);
+          rotateRight(parentOf(parentOf(X)));
+        }
+      } else {
+        Node *Y = leftOf(parentOf(parentOf(X)));
+        if (colorOf(Y) == Red) {
+          setColor(parentOf(X), Black);
+          setColor(Y, Black);
+          setColor(parentOf(parentOf(X)), Red);
+          X = parentOf(parentOf(X));
+        } else {
+          if (X == leftOf(parentOf(X))) {
+            X = parentOf(X);
+            rotateRight(X);
+          }
+          setColor(parentOf(X), Black);
+          setColor(parentOf(parentOf(X)), Red);
+          rotateLeft(parentOf(parentOf(X)));
+        }
+      }
+    }
+    setColor(Root.read(), Black);
+  }
+
+  static Node *successor(Node *T) {
+    if (!T)
+      return nullptr;
+    if (T->Right.read()) {
+      Node *P = T->Right.read();
+      while (P->Left.read())
+        P = P->Left.read();
+      return P;
+    }
+    Node *P = T->Parent.read();
+    Node *Ch = T;
+    while (P && Ch == P->Right.read()) {
+      Ch = P;
+      P = P->Parent.read();
+    }
+    return P;
+  }
+
+  void deleteEntry(Node *P) {
+    // Interior node: copy the successor's key/value, then delete the
+    // successor (java.util.TreeMap's approach).
+    if (P->Left.read() && P->Right.read()) {
+      Node *S = successor(P);
+      P->Key.write(S->Key.read());
+      P->Value.write(S->Value.read());
+      P = S;
+    }
+    Node *Replacement = P->Left.read() ? P->Left.read() : P->Right.read();
+    if (Replacement) {
+      Replacement->Parent.write(P->Parent.read());
+      Node *PP = P->Parent.read();
+      if (!PP)
+        Root.write(Replacement);
+      else if (P == PP->Left.read())
+        PP->Left.write(Replacement);
+      else
+        PP->Right.write(Replacement);
+      P->Left.write(nullptr);
+      P->Right.write(nullptr);
+      P->Parent.write(nullptr);
+      if (P->Color.read() == Black)
+        fixAfterDeletion(Replacement);
+    } else if (!P->Parent.read()) {
+      Root.write(nullptr);
+    } else {
+      if (P->Color.read() == Black)
+        fixAfterDeletion(P);
+      Node *PP = P->Parent.read();
+      if (PP) {
+        if (P == PP->Left.read())
+          PP->Left.write(nullptr);
+        else if (P == PP->Right.read())
+          PP->Right.write(nullptr);
+        P->Parent.write(nullptr);
+      }
+    }
+    retireNode(P);
+  }
+
+  void fixAfterDeletion(Node *X) {
+    while (X != Root.read() && colorOf(X) == Black) {
+      if (X == leftOf(parentOf(X))) {
+        Node *Sib = rightOf(parentOf(X));
+        if (colorOf(Sib) == Red) {
+          setColor(Sib, Black);
+          setColor(parentOf(X), Red);
+          rotateLeft(parentOf(X));
+          Sib = rightOf(parentOf(X));
+        }
+        if (colorOf(leftOf(Sib)) == Black && colorOf(rightOf(Sib)) == Black) {
+          setColor(Sib, Red);
+          X = parentOf(X);
+        } else {
+          if (colorOf(rightOf(Sib)) == Black) {
+            setColor(leftOf(Sib), Black);
+            setColor(Sib, Red);
+            rotateRight(Sib);
+            Sib = rightOf(parentOf(X));
+          }
+          setColor(Sib, colorOf(parentOf(X)));
+          setColor(parentOf(X), Black);
+          setColor(rightOf(Sib), Black);
+          rotateLeft(parentOf(X));
+          X = Root.read();
+        }
+      } else {
+        Node *Sib = leftOf(parentOf(X));
+        if (colorOf(Sib) == Red) {
+          setColor(Sib, Black);
+          setColor(parentOf(X), Red);
+          rotateRight(parentOf(X));
+          Sib = leftOf(parentOf(X));
+        }
+        if (colorOf(rightOf(Sib)) == Black && colorOf(leftOf(Sib)) == Black) {
+          setColor(Sib, Red);
+          X = parentOf(X);
+        } else {
+          if (colorOf(leftOf(Sib)) == Black) {
+            setColor(rightOf(Sib), Black);
+            setColor(Sib, Red);
+            rotateLeft(Sib);
+            Sib = leftOf(parentOf(X));
+          }
+          setColor(Sib, colorOf(parentOf(X)));
+          setColor(parentOf(X), Black);
+          setColor(leftOf(Sib), Black);
+          rotateRight(parentOf(X));
+          X = Root.read();
+        }
+      }
+    }
+    setColor(X, Black);
+  }
+
+  template <typename Fn> void visitInOrder(Node *N, Fn &F) const {
+    if (!N)
+      return;
+    visitInOrder(N->Left.read(), F);
+    F(N->Key.read(), N->Value.read());
+    visitInOrder(N->Right.read(), F);
+  }
+
+  /// \returns subtree black height, or -1 on a red-black violation.
+  int blackHeight(Node *N) const {
+    if (!N)
+      return 1;
+    Node *L = N->Left.read(), *R = N->Right.read();
+    if (N->Color.read() == Red &&
+        (colorOf(L) == Red || colorOf(R) == Red))
+      return -1; // red node with red child
+    if ((L && L->Parent.read() != N) || (R && R->Parent.read() != N))
+      return -1; // broken parent links
+    int LH = blackHeight(L);
+    int RH = blackHeight(R);
+    if (LH < 0 || RH < 0 || LH != RH)
+      return -1;
+    return LH + (N->Color.read() == Black ? 1 : 0);
+  }
+
+  void freeSubtree(Node *N) {
+    if (!N)
+      return;
+    freeSubtree(N->Left.read());
+    freeSubtree(N->Right.read());
+    Pool.deallocate(N);
+  }
+
+  SharedField<Node *> Root{nullptr};
+  SharedField<int64_t> Count{0};
+  TypeStablePool<Node> Pool;
+  mutable EpochReclaimer Reclaimer;
+};
+
+} // namespace solero
+
+#endif // SOLERO_COLLECTIONS_JAVATREEMAP_H

@@ -1,0 +1,95 @@
+//===- collections/SynchronizedMap.h - Lock-protected map -------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Couples an unsynchronized map (JavaHashMap / JavaTreeMap) with a lock
+/// policy, the way the paper's benchmarks access "a single
+/// java.util.HashMap object in a synchronized block". Lookups run as
+/// read-only critical sections (elidable under SOLERO), mutations as
+/// writing critical sections. Policies live in workloads/LockPolicies.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_COLLECTIONS_SYNCHRONIZEDMAP_H
+#define SOLERO_COLLECTIONS_SYNCHRONIZEDMAP_H
+
+#include <optional>
+#include <utility>
+
+namespace solero {
+
+class ReadGuard;
+
+/// A map whose every operation runs inside a critical section of \p Policy.
+/// \p MapT must provide get/contains/put/remove/size; \p Policy must
+/// provide read(Fn) (Fn takes ReadGuard&) and write(Fn).
+template <typename MapT, typename Policy> class SynchronizedMap {
+public:
+  using KeyType = typename MapT::KeyType;
+  using ValueType = typename MapT::ValueType;
+
+  /// Constructs the policy from \p PolicyArgs and default-constructs the map.
+  template <typename... Args>
+  explicit SynchronizedMap(Args &&...PolicyArgs)
+      : Lock(std::forward<Args>(PolicyArgs)...) {}
+
+  std::optional<ValueType> get(const KeyType &Key) {
+    // Unwrap to a flat pair inside the section: forwarding std::optional
+    // through the elision engine's try/catch region costs several ns of
+    // EH-edge spills with GCC 12 (see DESIGN.md "engineering notes").
+    auto R = Lock.read([&](ReadGuard &) {
+      auto V = Map.get(Key);
+      return FlatOpt{V.has_value() ? *V : ValueType{}, V.has_value()};
+    });
+    if (!R.Has)
+      return std::nullopt;
+    return R.Value;
+  }
+
+  bool contains(const KeyType &Key) {
+    return Lock.read([&](ReadGuard &) { return Map.contains(Key); });
+  }
+
+  bool put(const KeyType &Key, const ValueType &Value) {
+    return Lock.write([&] { return Map.put(Key, Value); });
+  }
+
+  bool remove(const KeyType &Key) {
+    return Lock.write([&] { return Map.remove(Key); });
+  }
+
+  std::size_t size() {
+    return Lock.read([&](ReadGuard &) { return Map.size(); });
+  }
+
+  /// Runs \p F(map, guard) as one read-only critical section. For compound
+  /// read-only operations (and for benches that model longer sections).
+  template <typename Fn> decltype(auto) readSection(Fn &&F) {
+    return Lock.read([&](ReadGuard &G) { return F(Map, G); });
+  }
+
+  /// Runs \p F(map) as one writing critical section.
+  template <typename Fn> decltype(auto) writeSection(Fn &&F) {
+    return Lock.write([&] { return F(Map); });
+  }
+
+  /// The underlying map, for prefill / verification outside measurement.
+  MapT &unsynchronized() { return Map; }
+  Policy &policy() { return Lock; }
+
+private:
+  struct FlatOpt {
+    ValueType Value;
+    bool Has;
+  };
+
+  Policy Lock;
+  MapT Map;
+};
+
+} // namespace solero
+
+#endif // SOLERO_COLLECTIONS_SYNCHRONIZEDMAP_H

@@ -1,0 +1,304 @@
+//===- jit/Assembler.cpp - CSIR text format --------------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Assembler.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace solero;
+using namespace solero::jit;
+
+namespace {
+
+/// Opcode spelling table (must match Disassembler's opcodeName).
+const std::pair<const char *, Opcode> OpcodeSpellings[] = {
+    {"const", Opcode::Const},
+    {"dup", Opcode::Dup},
+    {"pop", Opcode::Pop},
+    {"swap", Opcode::Swap},
+    {"load", Opcode::Load},
+    {"store", Opcode::Store},
+    {"add", Opcode::Add},
+    {"sub", Opcode::Sub},
+    {"mul", Opcode::Mul},
+    {"div", Opcode::Div},
+    {"mod", Opcode::Mod},
+    {"neg", Opcode::Neg},
+    {"cmpeq", Opcode::CmpEq},
+    {"cmplt", Opcode::CmpLt},
+    {"jump", Opcode::Jump},
+    {"jz", Opcode::JumpIfZero},
+    {"jnz", Opcode::JumpIfNonZero},
+    {"getfield", Opcode::GetField},
+    {"putfield", Opcode::PutField},
+    {"getref", Opcode::GetRef},
+    {"putref", Opcode::PutRef},
+    {"new", Opcode::NewObject},
+    {"null", Opcode::PushNull},
+    {"newarray", Opcode::NewArray},
+    {"aload", Opcode::ALoad},
+    {"astore", Opcode::AStore},
+    {"arraylen", Opcode::ArrayLen},
+    {"getstatic", Opcode::GetStatic},
+    {"putstatic", Opcode::PutStatic},
+    {"invoke", Opcode::Invoke},
+    {"syncenter", Opcode::SyncEnter},
+    {"syncexit", Opcode::SyncExit},
+    {"wait", Opcode::MonitorWait},
+    {"notify", Opcode::MonitorNotify},
+    {"notifyall", Opcode::MonitorNotifyAll},
+    {"throw", Opcode::Throw},
+    {"print", Opcode::Print},
+    {"nativecall", Opcode::NativeCall},
+    {"return", Opcode::Return},
+};
+
+bool needsIntOperand(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+  case Opcode::Load:
+  case Opcode::Store:
+  case Opcode::GetField:
+  case Opcode::PutField:
+  case Opcode::GetRef:
+  case Opcode::PutRef:
+  case Opcode::GetStatic:
+  case Opcode::PutStatic:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isJump(Opcode Op) {
+  return Op == Opcode::Jump || Op == Opcode::JumpIfZero ||
+         Op == Opcode::JumpIfNonZero;
+}
+
+/// A pending cross-method reference to be patched after parsing.
+struct Fixup {
+  uint32_t MethodIdx;
+  uint32_t Pc;
+  std::string Target;
+  int Line;
+  bool IsInvoke; // else label
+};
+
+struct Parser {
+  const std::string &Text;
+  AsmResult Out;
+  std::size_t Pos = 0;
+  int Line = 0;
+
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  bool fail(std::string Msg) {
+    Out.Ok = false;
+    Out.Error = std::move(Msg);
+    Out.Line = Line;
+    return false;
+  }
+
+  /// Reads the next line, stripped of comments and surrounding blanks.
+  /// Returns false at end of input.
+  bool nextLine(std::string &L) {
+    while (Pos < Text.size()) {
+      std::size_t End = Text.find('\n', Pos);
+      if (End == std::string::npos)
+        End = Text.size();
+      std::string Raw = Text.substr(Pos, End - Pos);
+      Pos = End + 1;
+      ++Line; // Line is the 1-based number of the line just consumed
+      auto Semi = Raw.find(';');
+      if (Semi != std::string::npos)
+        Raw.resize(Semi);
+      std::size_t B = Raw.find_first_not_of(" \t\r");
+      if (B == std::string::npos)
+        continue; // blank line
+      std::size_t E = Raw.find_last_not_of(" \t\r");
+      L = Raw.substr(B, E - B + 1);
+      return true;
+    }
+    return false;
+  }
+
+  static std::vector<std::string> tokens(const std::string &L) {
+    std::vector<std::string> T;
+    std::size_t I = 0;
+    while (I < L.size()) {
+      while (I < L.size() && std::isspace(static_cast<unsigned char>(L[I])))
+        ++I;
+      std::size_t S = I;
+      while (I < L.size() && !std::isspace(static_cast<unsigned char>(L[I])))
+        ++I;
+      if (I > S)
+        T.push_back(L.substr(S, I - S));
+    }
+    return T;
+  }
+
+  bool parseHeader(const std::string &L, Method &M) {
+    // method <name>(params=<P>, locals=<L>) [@annotations] {
+    unsigned P = 0, Loc = 0;
+    char Name[128] = {0};
+    if (std::sscanf(L.c_str(), "method %127[^ (](params=%u, locals=%u)",
+                    Name, &P, &Loc) != 3)
+      return fail("malformed method header: " + L);
+    M.Name = Name;
+    M.NumParams = P;
+    M.NumLocals = Loc;
+    M.AnnotatedReadOnly = L.find("@SoleroReadOnly") != std::string::npos;
+    M.AnnotatedReadMostly = L.find("@SoleroReadMostly") != std::string::npos;
+    if (L.find('{') == std::string::npos)
+      return fail("method header must end with '{'");
+    return true;
+  }
+
+  bool run() {
+    std::vector<Fixup> Fixups;
+    std::string L;
+    while (nextLine(L)) {
+      std::vector<std::string> T = tokens(L);
+      if (T.empty())
+        continue;
+      if (T[0] == "statics") {
+        if (T.size() != 2)
+          return fail("statics takes one integer");
+        Out.M.NumStatics = static_cast<uint32_t>(std::atoi(T[1].c_str()));
+        continue;
+      }
+      if (T[0] != "method")
+        return fail("expected 'method' or 'statics', got: " + T[0]);
+      Method M;
+      if (!parseHeader(L, M))
+        return false;
+      std::map<std::string, uint32_t> Labels;
+      std::vector<std::pair<uint32_t, std::string>> LabelRefs;
+      bool Closed = false;
+      std::string Body;
+      while (nextLine(Body)) {
+        if (Body == "}") {
+          Closed = true;
+          break;
+        }
+        std::vector<std::string> BT = tokens(Body);
+        // Optional leading "label:".
+        while (!BT.empty() && BT[0].back() == ':') {
+          std::string Label = BT[0].substr(0, BT[0].size() - 1);
+          if (Labels.count(Label))
+            return fail("duplicate label: " + Label);
+          Labels[Label] = static_cast<uint32_t>(M.Code.size());
+          BT.erase(BT.begin());
+        }
+        if (BT.empty())
+          continue;
+        Opcode Op = Opcode::Return;
+        bool Found = false;
+        for (const auto &[Spelling, Code] : OpcodeSpellings)
+          if (BT[0] == Spelling) {
+            Op = Code;
+            Found = true;
+            break;
+          }
+        if (!Found)
+          return fail("unknown opcode: " + BT[0]);
+        Instruction I{Op, 0};
+        if (needsIntOperand(Op)) {
+          if (BT.size() != 2)
+            return fail(BT[0] + " takes one integer operand");
+          I.A = std::atoi(BT[1].c_str());
+        } else if (isJump(Op)) {
+          if (BT.size() != 2)
+            return fail(BT[0] + " takes a label operand");
+          LabelRefs.emplace_back(static_cast<uint32_t>(M.Code.size()),
+                                 BT[1]);
+        } else if (Op == Opcode::Invoke) {
+          if (BT.size() != 2)
+            return fail("invoke takes a method name");
+          Fixups.push_back(Fixup{static_cast<uint32_t>(Out.M.methodCount()),
+                                 static_cast<uint32_t>(M.Code.size()), BT[1],
+                                 Line, /*IsInvoke=*/true});
+        } else if (BT.size() != 1) {
+          return fail(BT[0] + " takes no operand");
+        }
+        M.Code.push_back(I);
+      }
+      if (!Closed)
+        return fail("method body not closed with '}'");
+      for (auto &[Pc, Label] : LabelRefs) {
+        auto It = Labels.find(Label);
+        if (It == Labels.end())
+          return fail("undefined label: " + Label);
+        M.Code[Pc].A = static_cast<int32_t>(It->second);
+      }
+      if (Out.M.hasMethod(M.Name))
+        return fail("duplicate method: " + M.Name);
+      Out.M.addMethod(std::move(M));
+    }
+    // Patch invokes (forward references allowed).
+    for (const Fixup &F : Fixups) {
+      if (!Out.M.hasMethod(F.Target)) {
+        Line = F.Line;
+        return fail("invoke of unknown method: " + F.Target);
+      }
+      Out.M.method(F.MethodIdx).Code[F.Pc].A =
+          static_cast<int32_t>(Out.M.methodId(F.Target));
+    }
+    Out.Ok = true;
+    return true;
+  }
+};
+
+} // namespace
+
+AsmResult jit::assembleModule(const std::string &Text) {
+  Parser P(Text);
+  P.run();
+  return std::move(P.Out);
+}
+
+std::string jit::writeModuleText(const Module &M) {
+  std::string Out;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "statics %u\n\n", M.NumStatics);
+  Out += Buf;
+  for (uint32_t Id = 0; Id < M.methodCount(); ++Id) {
+    const Method &Fn = M.method(Id);
+    std::snprintf(Buf, sizeof(Buf), "method %s(params=%u, locals=%u)%s%s {\n",
+                  Fn.Name.c_str(), Fn.NumParams, Fn.NumLocals,
+                  Fn.AnnotatedReadOnly ? " @SoleroReadOnly" : "",
+                  Fn.AnnotatedReadMostly ? " @SoleroReadMostly" : "");
+    Out += Buf;
+    // Label every jump target.
+    std::vector<bool> IsTarget(Fn.Code.size() + 1, false);
+    for (const Instruction &I : Fn.Code)
+      if (isJump(I.Op))
+        IsTarget[static_cast<std::size_t>(I.A)] = true;
+    for (std::size_t Pc = 0; Pc < Fn.Code.size(); ++Pc) {
+      const Instruction &I = Fn.Code[Pc];
+      if (IsTarget[Pc]) {
+        std::snprintf(Buf, sizeof(Buf), "L%zu:\n", Pc);
+        Out += Buf;
+      }
+      if (isJump(I.Op)) {
+        std::snprintf(Buf, sizeof(Buf), "  %s L%d\n", opcodeName(I.Op), I.A);
+      } else if (I.Op == Opcode::Invoke) {
+        std::snprintf(Buf, sizeof(Buf), "  invoke %s\n",
+                      M.method(static_cast<uint32_t>(I.A)).Name.c_str());
+      } else if (needsIntOperand(I.Op)) {
+        std::snprintf(Buf, sizeof(Buf), "  %s %d\n", opcodeName(I.Op), I.A);
+      } else {
+        std::snprintf(Buf, sizeof(Buf), "  %s\n", opcodeName(I.Op));
+      }
+      Out += Buf;
+    }
+    Out += "}\n\n";
+  }
+  return Out;
+}

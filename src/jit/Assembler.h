@@ -1,0 +1,52 @@
+//===- jit/Assembler.h - CSIR text format -----------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A textual format for CSIR modules, so guest programs can live in files
+/// instead of builder code. Grammar (line-oriented; `;` starts a comment):
+///
+///   statics <N>
+///   method <name>(params=<P>, locals=<L>) [@SoleroReadOnly]
+///                                         [@SoleroReadMostly] {
+///     [<label>:] <opcode> [<operand>]
+///     ...
+///   }
+///
+/// Operands: integers for const/load/store/field/static indices; label
+/// names for jumps; method names for invoke (forward references allowed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ASSEMBLER_H
+#define SOLERO_JIT_ASSEMBLER_H
+
+#include <string>
+
+#include "jit/Program.h"
+
+namespace solero {
+namespace jit {
+
+/// Result of assembling a text module.
+struct AsmResult {
+  bool Ok = false;
+  std::string Error; ///< diagnostic when !Ok
+  int Line = 0;      ///< 1-based source line of the diagnostic
+  Module M;
+};
+
+/// Parses the textual form into a Module. Does not verify; run
+/// verifyModule on the result before executing it.
+AsmResult assembleModule(const std::string &Text);
+
+/// Renders \p M in the assembler's text format (round-trips through
+/// assembleModule).
+std::string writeModuleText(const Module &M);
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ASSEMBLER_H

@@ -1,0 +1,75 @@
+//===- jit/Disassembler.cpp - CSIR pretty-printing --------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Disassembler.h"
+
+#include <cstdio>
+
+using namespace solero;
+using namespace solero::jit;
+
+std::string jit::disassemble(const Module &M, uint32_t Id,
+                             const ClassifiedModule *Classes) {
+  const Method &Fn = M.method(Id);
+  std::string Out;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf), "method %s(params=%u, locals=%u)%s%s:\n",
+                Fn.Name.c_str(), Fn.NumParams, Fn.NumLocals,
+                Fn.AnnotatedReadOnly ? " @SoleroReadOnly" : "",
+                Fn.AnnotatedReadMostly ? " @SoleroReadMostly" : "");
+  Out += Buf;
+  for (std::size_t Pc = 0; Pc < Fn.Code.size(); ++Pc) {
+    const Instruction &I = Fn.Code[Pc];
+    bool HasOperand = false;
+    switch (I.Op) {
+    case Opcode::Const:
+    case Opcode::Load:
+    case Opcode::Store:
+    case Opcode::Jump:
+    case Opcode::JumpIfZero:
+    case Opcode::JumpIfNonZero:
+    case Opcode::GetField:
+    case Opcode::PutField:
+    case Opcode::GetRef:
+    case Opcode::PutRef:
+    case Opcode::GetStatic:
+    case Opcode::PutStatic:
+      HasOperand = true;
+      break;
+    default:
+      break;
+    }
+    if (I.Op == Opcode::Invoke) {
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: invoke %s\n", Pc,
+                    M.method(static_cast<uint32_t>(I.A)).Name.c_str());
+    } else if (HasOperand) {
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: %s %d\n", Pc,
+                    opcodeName(I.Op), I.A);
+    } else {
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: %s\n", Pc, opcodeName(I.Op));
+    }
+    Out += Buf;
+    if (I.Op == Opcode::SyncEnter && Classes) {
+      const ClassifiedRegion &R =
+          Classes->regionAt(Id, static_cast<uint32_t>(Pc));
+      std::snprintf(Buf, sizeof(Buf), "        ; region [%u, %u) %s — %s\n",
+                    R.Region.EnterPc + 1, R.Region.ExitPc,
+                    regionKindName(R.Kind), R.Reason.c_str());
+      Out += Buf;
+    }
+  }
+  return Out;
+}
+
+std::string jit::disassembleModule(const Module &M,
+                                   const ClassifiedModule *Classes) {
+  std::string Out;
+  for (uint32_t Id = 0; Id < M.methodCount(); ++Id) {
+    Out += disassemble(M, Id, Classes);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===- jit/Disassembler.h - CSIR pretty-printing ----------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual dump of CSIR methods, annotated with each synchronized region's
+/// classification — the view a JIT engineer would use to confirm which
+/// blocks elide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_DISASSEMBLER_H
+#define SOLERO_JIT_DISASSEMBLER_H
+
+#include <string>
+
+#include "jit/Program.h"
+#include "jit/ReadOnlyClassifier.h"
+
+namespace solero {
+namespace jit {
+
+/// Renders method \p Id. When \p Classes is non-null, SyncEnter lines are
+/// annotated with the region classification and reason.
+std::string disassemble(const Module &M, uint32_t Id,
+                        const ClassifiedModule *Classes = nullptr);
+
+/// Renders the whole module.
+std::string disassembleModule(const Module &M,
+                              const ClassifiedModule *Classes = nullptr);
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_DISASSEMBLER_H

@@ -1,0 +1,397 @@
+//===- jit/Interpreter.cpp - CSIR execution engine -------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Interpreter.h"
+
+#include <cstdio>
+
+#include "runtime/ReadGuard.h"
+
+using namespace solero;
+using namespace solero::jit;
+
+Interpreter::Interpreter(RuntimeContext &Ctx, Module Mod_)
+    : Interpreter(Ctx, std::move(Mod_), Options()) {}
+
+Interpreter::Interpreter(RuntimeContext &Ctx, Module Mod_, Options Opts)
+    : Ctx(Ctx), Mod(std::move(Mod_)), Opts(Opts), Solero(Ctx, Opts.Solero),
+      Conventional(Ctx) {
+  VerifiedMethod V = verifyModule(Mod);
+  SOLERO_CHECK(V.Ok, "module failed verification");
+  Classes = classifyModule(Mod, nullptr);
+  Prof.Counts.resize(Mod.methodCount());
+  for (uint32_t Id = 0; Id < Mod.methodCount(); ++Id)
+    Prof.Counts[Id].assign(Mod.method(Id).Code.size(), 0);
+  Statics.reset(new SharedField<int64_t>[Mod.NumStatics]());
+  rebuildRegionTables();
+}
+
+void Interpreter::rebuildRegionTables() {
+  RegionTables.assign(Mod.methodCount(), {});
+  for (uint32_t Id = 0; Id < Mod.methodCount(); ++Id) {
+    RegionTables[Id].assign(Mod.method(Id).Code.size(), std::nullopt);
+    for (const ClassifiedRegion &R : Classes.regions(Id))
+      RegionTables[Id][R.Region.EnterPc] =
+          RegionEntry{R.Region.ExitPc, R.Kind};
+  }
+}
+
+void Interpreter::reclassifyWithProfile() {
+  Classes = classifyModule(Mod, &Prof);
+  rebuildRegionTables();
+}
+
+GuestObject *Interpreter::allocateObject() {
+  GuestObject *Obj = Heap.allocate();
+  for (auto &Field : Obj->F)
+    Field.write(0);
+  for (auto &Ref : Obj->R)
+    Ref.write(nullptr);
+  return Obj;
+}
+
+GuestArray *Interpreter::allocateArray(int64_t Len) {
+  if (Len < 0)
+    throw GuestError{static_cast<int32_t>(GuestErrorKind::NegativeArraySize)};
+  auto Arr = std::make_unique<GuestArray>(Len);
+  GuestArray *Raw = Arr.get();
+  std::lock_guard<std::mutex> G(ArraysMu);
+  Arrays.push_back(std::move(Arr));
+  return Raw;
+}
+
+const Interpreter::RegionEntry &
+Interpreter::regionAt(uint32_t MethodId, uint32_t EnterPc) const {
+  const auto &Entry = RegionTables[MethodId][EnterPc];
+  SOLERO_CHECK(Entry.has_value(), "SyncEnter without classified region");
+  return *Entry;
+}
+
+Value Interpreter::invoke(const std::string &Name, std::vector<Value> Args) {
+  return invoke(Mod.methodId(Name), std::move(Args));
+}
+
+Value Interpreter::invoke(uint32_t MethodId, std::vector<Value> Args) {
+  const Method &Fn = Mod.method(MethodId);
+  SOLERO_CHECK(Args.size() == Fn.NumParams, "argument count mismatch");
+  Args.resize(Fn.NumLocals);
+  ExecCtx EC;
+  EC.StepsLeft = Opts.MaxSteps;
+  return execMethod(EC, MethodId, std::move(Args));
+}
+
+Value Interpreter::execMethod(ExecCtx &EC, uint32_t Id,
+                              std::vector<Value> Locals) {
+  if (++EC.Depth > 200)
+    throw GuestError{static_cast<int32_t>(GuestErrorKind::StackOverflow)};
+  // Method-entry check point (Section 3.3).
+  speculationCheckpoint();
+  Frame F{Id, std::move(Locals), {}};
+  std::optional<Value> R =
+      execRange(EC, F, 0, static_cast<uint32_t>(Mod.method(Id).Code.size()));
+  --EC.Depth;
+  SOLERO_CHECK(R.has_value(), "method fell off the end (verifier bug)");
+  return *R;
+}
+
+std::optional<Value> Interpreter::execRegion(ExecCtx &EC, Frame &F,
+                                             uint32_t EnterPc,
+                                             GuestObject *Obj) {
+  if (!Obj)
+    throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+  const RegionEntry &R = regionAt(F.MethodId, EnterPc);
+  const std::size_t Base = F.Stack.size();
+  // The body may be re-executed by the elision engine (failed validation
+  // or failed upgrade); reset the operand stack to the entry height each
+  // time. Locals need no restoration: the classifier refuses to elide
+  // regions that write locals live at entry.
+  auto Body = [&]() -> std::optional<Value> {
+    F.Stack.resize(Base);
+    return execRange(EC, F, EnterPc + 1, R.ExitPc);
+  };
+
+  if (Opts.UseConventionalLocks)
+    return Conventional.synchronizedWrite(Obj->Hdr, Body);
+
+  switch (R.Kind) {
+  case RegionKind::Writing:
+    // Take the MonitorHandle overload so guest MonitorWait/Notify inside
+    // this region can reach the owned monitor.
+    return Solero.synchronizedWrite(
+        Obj->Hdr, [&](SoleroLock::MonitorHandle &MH) {
+          EC.Monitors.emplace_back(&Obj->Hdr, &MH);
+          ScopeExit PopMon([&] { EC.Monitors.pop_back(); });
+          return Body();
+        });
+  case RegionKind::ReadOnly:
+    return Solero.synchronizedReadOnly(Obj->Hdr,
+                                       [&](ReadGuard &) { return Body(); });
+  case RegionKind::ReadMostly:
+    return Solero.synchronizedReadMostly(Obj->Hdr, [&](WriteIntent &W) {
+      EC.Intents.push_back(&W);
+      ScopeExit PopIntent([&] { EC.Intents.pop_back(); });
+      return Body();
+    });
+  }
+  SOLERO_UNREACHABLE("bad region kind");
+}
+
+std::optional<Value> Interpreter::execRange(ExecCtx &EC, Frame &F,
+                                            uint32_t Pc, uint32_t End) {
+  const Method &Fn = Mod.method(F.MethodId);
+  auto Push = [&](Value V) { F.Stack.push_back(V); };
+  auto PopV = [&]() {
+    Value V = F.Stack.back();
+    F.Stack.pop_back();
+    return V;
+  };
+  auto Pop = [&]() { return PopV().asInt(); };
+  auto PopRef = [&]() { return PopV().asRef(); };
+
+  while (Pc < End) {
+    SOLERO_CHECK(EC.StepsLeft-- != 0, "guest step budget exhausted "
+                                      "(runaway loop not rescued?)");
+    if (Opts.CollectProfile)
+      ++Prof.Counts[F.MethodId][Pc];
+    const Instruction &I = Fn.Code[Pc];
+    switch (I.Op) {
+    case Opcode::Const:
+      Push(Value::ofInt(I.A));
+      break;
+    case Opcode::Dup:
+      Push(F.Stack.back());
+      break;
+    case Opcode::Pop:
+      (void)PopV();
+      break;
+    case Opcode::Swap:
+      std::swap(F.Stack[F.Stack.size() - 1], F.Stack[F.Stack.size() - 2]);
+      break;
+    case Opcode::Load:
+      Push(F.Locals[static_cast<std::size_t>(I.A)]);
+      break;
+    case Opcode::Store:
+      F.Locals[static_cast<std::size_t>(I.A)] = PopV();
+      break;
+    case Opcode::Add: {
+      int64_t B = Pop(), A = Pop();
+      Push(Value::ofInt(A + B));
+      break;
+    }
+    case Opcode::Sub: {
+      int64_t B = Pop(), A = Pop();
+      Push(Value::ofInt(A - B));
+      break;
+    }
+    case Opcode::Mul: {
+      int64_t B = Pop(), A = Pop();
+      Push(Value::ofInt(A * B));
+      break;
+    }
+    case Opcode::Div: {
+      int64_t B = Pop(), A = Pop();
+      if (B == 0)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::Arithmetic)};
+      Push(Value::ofInt(A / B));
+      break;
+    }
+    case Opcode::Mod: {
+      int64_t B = Pop(), A = Pop();
+      if (B == 0)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::Arithmetic)};
+      Push(Value::ofInt(A % B));
+      break;
+    }
+    case Opcode::Neg:
+      Push(Value::ofInt(-Pop()));
+      break;
+    case Opcode::CmpEq: {
+      Value B = PopV(), A = PopV();
+      bool Eq = A.K == B.K &&
+                (A.K == Value::Kind::Int ? A.I == B.I : A.O == B.O);
+      Push(Value::ofInt(Eq ? 1 : 0));
+      break;
+    }
+    case Opcode::CmpLt: {
+      int64_t B = Pop(), A = Pop();
+      Push(Value::ofInt(A < B ? 1 : 0));
+      break;
+    }
+    case Opcode::Jump: {
+      uint32_t T = static_cast<uint32_t>(I.A);
+      if (T <= Pc)
+        speculationCheckpoint(); // back-edge check point (Section 3.3)
+      Pc = T;
+      continue;
+    }
+    case Opcode::JumpIfZero:
+    case Opcode::JumpIfNonZero: {
+      int64_t C = Pop();
+      bool Taken = (I.Op == Opcode::JumpIfZero) ? C == 0 : C != 0;
+      if (Taken) {
+        uint32_t T = static_cast<uint32_t>(I.A);
+        if (T <= Pc)
+          speculationCheckpoint();
+        Pc = T;
+        continue;
+      }
+      break;
+    }
+    case Opcode::GetField: {
+      GuestObject *Obj = PopRef();
+      if (!Obj)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      Push(Value::ofInt(Obj->F[static_cast<std::size_t>(I.A)].read()));
+      break;
+    }
+    case Opcode::PutField: {
+      int64_t V = Pop();
+      GuestObject *Obj = PopRef();
+      if (!Obj)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      beforeWriteEffect(EC);
+      Obj->F[static_cast<std::size_t>(I.A)].write(V);
+      break;
+    }
+    case Opcode::GetRef: {
+      GuestObject *Obj = PopRef();
+      if (!Obj)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      Push(Value::ofRef(Obj->R[static_cast<std::size_t>(I.A)].read()));
+      break;
+    }
+    case Opcode::PutRef: {
+      GuestObject *V = PopRef();
+      GuestObject *Obj = PopRef();
+      if (!Obj)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      beforeWriteEffect(EC);
+      Obj->R[static_cast<std::size_t>(I.A)].write(V);
+      break;
+    }
+    case Opcode::NewObject:
+      Push(Value::ofRef(allocateObject()));
+      break;
+    case Opcode::PushNull:
+      Push(Value::ofRef(nullptr));
+      break;
+    case Opcode::NewArray:
+      Push(Value::ofArr(allocateArray(Pop())));
+      break;
+    case Opcode::ALoad: {
+      int64_t Idx = Pop();
+      GuestArray *Arr = PopV().asArr();
+      if (!Arr)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      if (Idx < 0 || Idx >= Arr->Len)
+        throw GuestError{
+            static_cast<int32_t>(GuestErrorKind::ArrayIndexOutOfBounds)};
+      Push(Value::ofInt(Arr->Elems[static_cast<std::size_t>(Idx)].read()));
+      break;
+    }
+    case Opcode::AStore: {
+      int64_t V = Pop();
+      int64_t Idx = Pop();
+      GuestArray *Arr = PopV().asArr();
+      if (!Arr)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      if (Idx < 0 || Idx >= Arr->Len)
+        throw GuestError{
+            static_cast<int32_t>(GuestErrorKind::ArrayIndexOutOfBounds)};
+      beforeWriteEffect(EC);
+      Arr->Elems[static_cast<std::size_t>(Idx)].write(V);
+      break;
+    }
+    case Opcode::ArrayLen: {
+      GuestArray *Arr = PopV().asArr();
+      if (!Arr)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      Push(Value::ofInt(Arr->Len));
+      break;
+    }
+    case Opcode::GetStatic:
+      Push(Value::ofInt(Statics[static_cast<std::size_t>(I.A)].read()));
+      break;
+    case Opcode::PutStatic: {
+      int64_t V = Pop();
+      beforeWriteEffect(EC);
+      Statics[static_cast<std::size_t>(I.A)].write(V);
+      break;
+    }
+    case Opcode::Invoke: {
+      const Method &Callee = Mod.method(static_cast<uint32_t>(I.A));
+      std::vector<Value> Locals(Callee.NumLocals);
+      for (uint32_t P = Callee.NumParams; P-- > 0;)
+        Locals[P] = PopV();
+      Push(execMethod(EC, static_cast<uint32_t>(I.A), std::move(Locals)));
+      break;
+    }
+    case Opcode::SyncEnter: {
+      GuestObject *Obj = PopRef();
+      std::optional<Value> Ret = execRegion(EC, F, Pc, Obj);
+      if (Ret.has_value())
+        return Ret; // Return executed inside the region
+      Pc = regionAt(F.MethodId, Pc).ExitPc + 1;
+      continue;
+    }
+    case Opcode::SyncExit:
+      SOLERO_UNREACHABLE("SyncExit reached directly (verifier bug)");
+    case Opcode::MonitorWait:
+    case Opcode::MonitorNotify:
+    case Opcode::MonitorNotifyAll: {
+      GuestObject *Obj = PopRef();
+      if (!Obj)
+        throw GuestError{static_cast<int32_t>(GuestErrorKind::NullPointer)};
+      if (Opts.UseConventionalLocks) {
+        if (!Conventional.heldByCurrentThread(Obj->Hdr))
+          throw GuestError{
+              static_cast<int32_t>(GuestErrorKind::IllegalMonitorState)};
+        if (I.Op == Opcode::MonitorWait)
+          Conventional.wait(Obj->Hdr);
+        else
+          Conventional.notify(Obj->Hdr, I.Op == Opcode::MonitorNotifyAll);
+        break;
+      }
+      // SOLERO mode: find the enclosing writing region's handle.
+      SoleroLock::MonitorHandle *MH = nullptr;
+      for (auto It = EC.Monitors.rbegin(); It != EC.Monitors.rend(); ++It)
+        if (It->first == &Obj->Hdr) {
+          MH = It->second;
+          break;
+        }
+      if (!MH)
+        throw GuestError{
+            static_cast<int32_t>(GuestErrorKind::IllegalMonitorState)};
+      if (I.Op == Opcode::MonitorWait)
+        MH->wait();
+      else
+        MH->notify(I.Op == Opcode::MonitorNotifyAll);
+      break;
+    }
+    case Opcode::Throw:
+      throw GuestError{static_cast<int32_t>(Pop())};
+    case Opcode::Print: {
+      int64_t V = Pop();
+      beforeWriteEffect(EC);
+      std::printf("[guest] %lld\n", static_cast<long long>(V));
+      break;
+    }
+    case Opcode::NativeCall: {
+      int64_t V = Pop();
+      beforeWriteEffect(EC);
+      // Opaque effect: mix the value through a volatile sink.
+      static volatile int64_t Sink;
+      Sink = Sink + V;
+      Push(Value::ofInt(Sink));
+      break;
+    }
+    case Opcode::Return:
+      return PopV();
+    }
+    ++Pc;
+  }
+  return std::nullopt; // reached End (region exit)
+}

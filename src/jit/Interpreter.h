@@ -1,0 +1,200 @@
+//===- jit/Interpreter.h - CSIR execution engine ----------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes CSIR under SOLERO. Construction plays the role of the paper's
+/// JIT compilation: the module is verified, synchronized regions are
+/// discovered and classified (Section 3.2), and execution then locks each
+/// region according to its classification — read-only regions elide
+/// (Figure 7), read-mostly regions elide with mid-section upgrade
+/// (Figure 17), writing regions acquire conventionally (Figure 6). The
+/// interpreter inserts asynchronous check points at loop back-edges and
+/// method entries (Section 3.3), and guest runtime errors raised during
+/// speculation flow through the engine's genuine-or-retry logic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_INTERPRETER_H
+#define SOLERO_JIT_INTERPRETER_H
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/SoleroLock.h"
+#include "jit/Program.h"
+#include "jit/ReadOnlyClassifier.h"
+#include "jit/Verifier.h"
+#include "locks/TasukiLock.h"
+#include "mm/TypeStablePool.h"
+#include "runtime/RuntimeContext.h"
+#include "runtime/SharedField.h"
+
+namespace solero {
+namespace jit {
+
+/// A guest heap object: a lock word plus fixed integer and reference
+/// field arrays, all speculation-safe.
+struct GuestObject {
+  ObjectHeader Hdr;
+  SharedField<int64_t> F[ObjectIntFields];
+  SharedField<GuestObject *> R[ObjectRefFields];
+};
+
+/// A guest integer array: fixed length, speculation-safe elements.
+/// Arrays live until the interpreter is destroyed (the guest language has
+/// no free; the paper's runtime has a GC).
+struct GuestArray {
+  explicit GuestArray(int64_t Len)
+      : Len(Len), Elems(new SharedField<int64_t>[static_cast<size_t>(Len)]()) {}
+  const int64_t Len;
+  std::unique_ptr<SharedField<int64_t>[]> Elems;
+};
+
+/// A guest value: an integer, an object reference, or an array reference.
+struct Value {
+  enum class Kind : uint8_t { Int, Ref, Arr };
+  Kind K = Kind::Int;
+  int64_t I = 0;
+  GuestObject *O = nullptr;
+  GuestArray *A = nullptr;
+
+  static Value ofInt(int64_t V) {
+    Value X;
+    X.K = Kind::Int;
+    X.I = V;
+    return X;
+  }
+  static Value ofRef(GuestObject *Obj) {
+    Value X;
+    X.K = Kind::Ref;
+    X.O = Obj;
+    return X;
+  }
+  static Value ofArr(GuestArray *Arr) {
+    Value X;
+    X.K = Kind::Arr;
+    X.A = Arr;
+    return X;
+  }
+
+  int64_t asInt() const {
+    SOLERO_CHECK(K == Kind::Int, "value kind confusion (expected int)");
+    return I;
+  }
+  GuestObject *asRef() const {
+    SOLERO_CHECK(K == Kind::Ref, "value kind confusion (expected ref)");
+    return O;
+  }
+  GuestArray *asArr() const {
+    SOLERO_CHECK(K == Kind::Arr, "value kind confusion (expected array)");
+    return A;
+  }
+};
+
+/// The CSIR execution engine. Thread-safe for concurrent invoke() calls
+/// (that is the point: guest threads contending on guest monitors), except
+/// when profile collection is enabled, which is a single-threaded
+/// profiling phase by design.
+class Interpreter {
+public:
+  struct Options {
+    /// Baseline mode: lock every region with the conventional protocol,
+    /// ignoring classifications (the paper's "Lock" configuration).
+    bool UseConventionalLocks = false;
+    /// Count per-instruction executions for profile-guided read-mostly
+    /// classification (single-threaded phase).
+    bool CollectProfile = false;
+    /// Guest step budget per top-level invoke (runaway-loop backstop).
+    uint64_t MaxSteps = 1ULL << 32;
+    /// Protocol configuration for SOLERO-mode regions.
+    SoleroConfig Solero;
+  };
+
+  Interpreter(RuntimeContext &Ctx, Module Mod, Options Opts);
+  Interpreter(RuntimeContext &Ctx, Module Mod);
+
+  /// Runs a method. \p Args must match the method's parameter count.
+  Value invoke(uint32_t MethodId, std::vector<Value> Args);
+  Value invoke(const std::string &Name, std::vector<Value> Args);
+
+  /// Re-runs classification with the collected profile (the paper's
+  /// recompilation after profiling). Call from a quiescent point.
+  void reclassifyWithProfile();
+
+  /// Allocates a zeroed guest object (for test/bench setup and NewObject).
+  GuestObject *allocateObject();
+
+  /// Allocates a zeroed guest integer array of \p Len elements.
+  GuestArray *allocateArray(int64_t Len);
+
+  const Module &module() const { return Mod; }
+  const ClassifiedModule &classification() const { return Classes; }
+  const Profile &profile() const { return Prof; }
+
+  int64_t staticCell(uint32_t Idx) const { return Statics[Idx].read(); }
+  void setStaticCell(uint32_t Idx, int64_t V) { Statics[Idx].write(V); }
+
+private:
+  /// Per-top-level-invoke execution context (thread-owned).
+  struct ExecCtx {
+    uint64_t StepsLeft = 0;
+    int Depth = 0;
+    /// Innermost-last stack of active read-mostly upgrade handles.
+    std::vector<WriteIntent *> Intents;
+    /// Innermost-last stack of held writing-region monitors (for guest
+    /// Object.wait / notify in SOLERO mode).
+    std::vector<std::pair<ObjectHeader *, SoleroLock::MonitorHandle *>>
+        Monitors;
+  };
+
+  struct Frame {
+    uint32_t MethodId;
+    std::vector<Value> Locals;
+    std::vector<Value> Stack;
+  };
+
+  /// Fast region lookup: (method, SyncEnter pc) -> classified region.
+  struct RegionEntry {
+    uint32_t ExitPc;
+    RegionKind Kind;
+  };
+
+  Value execMethod(ExecCtx &EC, uint32_t Id, std::vector<Value> Locals);
+  std::optional<Value> execRange(ExecCtx &EC, Frame &F, uint32_t Pc,
+                                 uint32_t End);
+  std::optional<Value> execRegion(ExecCtx &EC, Frame &F, uint32_t EnterPc,
+                                  GuestObject *Obj);
+  const RegionEntry &regionAt(uint32_t MethodId, uint32_t EnterPc) const;
+  void rebuildRegionTables();
+  /// Called before any write or side effect: upgrades the innermost
+  /// read-mostly section if one is active (Figure 17).
+  void beforeWriteEffect(ExecCtx &EC) {
+    if (!EC.Intents.empty())
+      EC.Intents.back()->acquireForWrite();
+  }
+
+  RuntimeContext &Ctx;
+  Module Mod;
+  Options Opts;
+  SoleroLock Solero;
+  TasukiLock Conventional;
+  ClassifiedModule Classes;
+  Profile Prof;
+  // RegionTables[Method] maps EnterPc -> entry (dense by code index).
+  std::vector<std::vector<std::optional<RegionEntry>>> RegionTables;
+  std::unique_ptr<SharedField<int64_t>[]> Statics;
+  TypeStablePool<GuestObject> Heap;
+  std::mutex ArraysMu;
+  std::vector<std::unique_ptr<GuestArray>> Arrays;
+};
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_INTERPRETER_H

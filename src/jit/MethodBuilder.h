@@ -1,0 +1,153 @@
+//===- jit/MethodBuilder.h - Fluent CSIR assembly ---------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fluent builder for CSIR methods with forward-referencing labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_METHODBUILDER_H
+#define SOLERO_JIT_METHODBUILDER_H
+
+#include <string>
+#include <vector>
+
+#include "jit/Program.h"
+
+namespace solero {
+namespace jit {
+
+/// Builds a Method instruction by instruction.
+/// \code
+///   MethodBuilder B("sumField", /*Params=*/1, /*Locals=*/2);
+///   Label Loop = B.newLabel();
+///   B.load(0).syncEnter() ... .bind(Loop) ... .jumpIfNonZero(Loop) ...
+///   Method M = B.take();
+/// \endcode
+class MethodBuilder {
+public:
+  /// An index into the label table; resolved at take().
+  struct Label {
+    uint32_t Id;
+  };
+
+  MethodBuilder(std::string Name, uint32_t NumParams, uint32_t NumLocals) {
+    M.Name = std::move(Name);
+    M.NumParams = NumParams;
+    M.NumLocals = NumLocals;
+    SOLERO_CHECK(NumLocals >= NumParams, "locals must include parameters");
+  }
+
+  Label newLabel() {
+    Labels.push_back(-1);
+    return Label{static_cast<uint32_t>(Labels.size() - 1)};
+  }
+
+  /// Binds \p L to the next emitted instruction.
+  MethodBuilder &bind(Label L) {
+    Labels[L.Id] = static_cast<int32_t>(M.Code.size());
+    return *this;
+  }
+
+  // --- Emitters (fluent) --------------------------------------------------
+
+  MethodBuilder &constant(int64_t V) {
+    return emit(Opcode::Const, static_cast<int32_t>(V));
+  }
+  MethodBuilder &dup() { return emit(Opcode::Dup); }
+  MethodBuilder &pop() { return emit(Opcode::Pop); }
+  MethodBuilder &swap() { return emit(Opcode::Swap); }
+  MethodBuilder &load(int32_t Slot) { return emit(Opcode::Load, Slot); }
+  MethodBuilder &store(int32_t Slot) { return emit(Opcode::Store, Slot); }
+  MethodBuilder &add() { return emit(Opcode::Add); }
+  MethodBuilder &sub() { return emit(Opcode::Sub); }
+  MethodBuilder &mul() { return emit(Opcode::Mul); }
+  MethodBuilder &div() { return emit(Opcode::Div); }
+  MethodBuilder &mod() { return emit(Opcode::Mod); }
+  MethodBuilder &neg() { return emit(Opcode::Neg); }
+  MethodBuilder &cmpEq() { return emit(Opcode::CmpEq); }
+  MethodBuilder &cmpLt() { return emit(Opcode::CmpLt); }
+  MethodBuilder &jump(Label L) { return emitJump(Opcode::Jump, L); }
+  MethodBuilder &jumpIfZero(Label L) {
+    return emitJump(Opcode::JumpIfZero, L);
+  }
+  MethodBuilder &jumpIfNonZero(Label L) {
+    return emitJump(Opcode::JumpIfNonZero, L);
+  }
+  MethodBuilder &getField(int32_t Idx) { return emit(Opcode::GetField, Idx); }
+  MethodBuilder &putField(int32_t Idx) { return emit(Opcode::PutField, Idx); }
+  MethodBuilder &getRef(int32_t Idx) { return emit(Opcode::GetRef, Idx); }
+  MethodBuilder &putRef(int32_t Idx) { return emit(Opcode::PutRef, Idx); }
+  MethodBuilder &newObject() { return emit(Opcode::NewObject); }
+  MethodBuilder &pushNull() { return emit(Opcode::PushNull); }
+  MethodBuilder &newArray() { return emit(Opcode::NewArray); }
+  MethodBuilder &aload() { return emit(Opcode::ALoad); }
+  MethodBuilder &astore() { return emit(Opcode::AStore); }
+  MethodBuilder &arrayLen() { return emit(Opcode::ArrayLen); }
+  MethodBuilder &getStatic(int32_t Idx) {
+    return emit(Opcode::GetStatic, Idx);
+  }
+  MethodBuilder &putStatic(int32_t Idx) {
+    return emit(Opcode::PutStatic, Idx);
+  }
+  MethodBuilder &invoke(uint32_t MethodId) {
+    return emit(Opcode::Invoke, static_cast<int32_t>(MethodId));
+  }
+  MethodBuilder &monitorWait() { return emit(Opcode::MonitorWait); }
+  MethodBuilder &monitorNotify() { return emit(Opcode::MonitorNotify); }
+  MethodBuilder &monitorNotifyAll() {
+    return emit(Opcode::MonitorNotifyAll);
+  }
+  MethodBuilder &syncEnter() { return emit(Opcode::SyncEnter); }
+  MethodBuilder &syncExit() { return emit(Opcode::SyncExit); }
+  MethodBuilder &throwError() { return emit(Opcode::Throw); }
+  MethodBuilder &print() { return emit(Opcode::Print); }
+  MethodBuilder &nativeCall() { return emit(Opcode::NativeCall); }
+  MethodBuilder &ret() { return emit(Opcode::Return); }
+
+  MethodBuilder &annotateReadOnly() {
+    M.AnnotatedReadOnly = true;
+    return *this;
+  }
+  MethodBuilder &annotateReadMostly() {
+    M.AnnotatedReadMostly = true;
+    return *this;
+  }
+
+  /// Finalizes: patches labels and returns the method.
+  Method take() {
+    for (Instruction &I : M.Code) {
+      if (I.Op != Opcode::Jump && I.Op != Opcode::JumpIfZero &&
+          I.Op != Opcode::JumpIfNonZero)
+        continue;
+      SOLERO_CHECK(I.A < 0, "jump already resolved");
+      int32_t LabelId = -I.A - 1;
+      SOLERO_CHECK(Labels[static_cast<std::size_t>(LabelId)] >= 0,
+                   "unbound label");
+      I.A = Labels[static_cast<std::size_t>(LabelId)];
+    }
+    return std::move(M);
+  }
+
+private:
+  MethodBuilder &emit(Opcode Op, int32_t A = 0) {
+    M.Code.push_back(Instruction{Op, A});
+    return *this;
+  }
+
+  MethodBuilder &emitJump(Opcode Op, Label L) {
+    // Encode the label as a negative placeholder; take() patches it.
+    return emit(Op, -static_cast<int32_t>(L.Id) - 1);
+  }
+
+  Method M;
+  std::vector<int32_t> Labels;
+};
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_METHODBUILDER_H

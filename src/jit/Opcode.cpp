@@ -1,0 +1,96 @@
+//===- jit/Opcode.cpp - CSIR opcode names ----------------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Opcode.h"
+
+#include "support/Assert.h"
+
+using namespace solero;
+using namespace solero::jit;
+
+const char *jit::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Const:
+    return "const";
+  case Opcode::Dup:
+    return "dup";
+  case Opcode::Pop:
+    return "pop";
+  case Opcode::Swap:
+    return "swap";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::Div:
+    return "div";
+  case Opcode::Mod:
+    return "mod";
+  case Opcode::Neg:
+    return "neg";
+  case Opcode::CmpEq:
+    return "cmpeq";
+  case Opcode::CmpLt:
+    return "cmplt";
+  case Opcode::Jump:
+    return "jump";
+  case Opcode::JumpIfZero:
+    return "jz";
+  case Opcode::JumpIfNonZero:
+    return "jnz";
+  case Opcode::GetField:
+    return "getfield";
+  case Opcode::PutField:
+    return "putfield";
+  case Opcode::GetRef:
+    return "getref";
+  case Opcode::PutRef:
+    return "putref";
+  case Opcode::NewObject:
+    return "new";
+  case Opcode::PushNull:
+    return "null";
+  case Opcode::NewArray:
+    return "newarray";
+  case Opcode::ALoad:
+    return "aload";
+  case Opcode::AStore:
+    return "astore";
+  case Opcode::ArrayLen:
+    return "arraylen";
+  case Opcode::GetStatic:
+    return "getstatic";
+  case Opcode::PutStatic:
+    return "putstatic";
+  case Opcode::Invoke:
+    return "invoke";
+  case Opcode::SyncEnter:
+    return "syncenter";
+  case Opcode::SyncExit:
+    return "syncexit";
+  case Opcode::MonitorWait:
+    return "wait";
+  case Opcode::MonitorNotify:
+    return "notify";
+  case Opcode::MonitorNotifyAll:
+    return "notifyall";
+  case Opcode::Throw:
+    return "throw";
+  case Opcode::Print:
+    return "print";
+  case Opcode::NativeCall:
+    return "nativecall";
+  case Opcode::Return:
+    return "return";
+  }
+  SOLERO_UNREACHABLE("bad opcode");
+}

@@ -1,0 +1,117 @@
+//===- jit/Opcode.h - CSIR opcodes ------------------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSIR — the critical-section IR. A small stack bytecode, just rich
+/// enough to express the synchronized-block shapes the paper's JIT
+/// analyzes (Section 3.2): heap reads/writes, local variables, loops,
+/// method invocation, allocation, runtime exceptions, and side effects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_OPCODE_H
+#define SOLERO_JIT_OPCODE_H
+
+#include <cstdint>
+
+namespace solero {
+namespace jit {
+
+/// CSIR opcodes. `A` denotes the instruction's immediate operand.
+enum class Opcode : uint8_t {
+  // Stack and constants.
+  Const,   ///< push A
+  Dup,     ///< duplicate top
+  Pop,     ///< drop top
+  Swap,    ///< swap top two
+
+  // Local variables (slot A).
+  Load,  ///< push locals[A]
+  Store, ///< locals[A] = pop
+
+  // Arithmetic / comparison (int values).
+  Add,
+  Sub,
+  Mul,
+  Div,   ///< throws ArithmeticError on division by zero
+  Mod,   ///< throws ArithmeticError on division by zero
+  Neg,
+  CmpEq, ///< push (a == b)
+  CmpLt, ///< push (a < b)
+
+  // Control flow (A = target instruction index).
+  Jump,
+  JumpIfZero,
+  JumpIfNonZero,
+
+  // Heap objects: integer fields F[A] and reference fields R[A].
+  GetField,   ///< ref = pop; push ref.F[A]      (NullPointerError on null)
+  PutField,   ///< v = pop; ref = pop; ref.F[A] = v
+  GetRef,     ///< ref = pop; push ref.R[A]
+  PutRef,     ///< v = pop; ref = pop; ref.R[A] = v
+  NewObject,  ///< push new object (A unused; fixed layout)
+  PushNull,   ///< push null reference
+
+  // Integer arrays (a distinct reference kind, as in Java).
+  NewArray,   ///< len = pop; push new zeroed array (NegativeArraySize error)
+  ALoad,      ///< idx = pop; arr = pop; push arr[idx]  (bounds-checked)
+  AStore,     ///< v = pop; idx = pop; arr = pop; arr[idx] = v
+  ArrayLen,   ///< arr = pop; push length
+
+  // Module-level statics: integer cells S[A].
+  GetStatic,
+  PutStatic,
+
+  // Calls: A = callee method id. Pops the callee's params (rightmost on
+  // top), pushes its return value.
+  Invoke,
+
+  // Synchronized regions: SyncEnter pops the monitor object; the matching
+  // SyncExit (same nesting level) closes the region.
+  SyncEnter,
+  SyncExit,
+
+  // Monitor side effects (Section 3.2: "events that may have side
+  // effects, such as wait/notify" forbid elision).
+  MonitorWait,      ///< ref = pop; Object.wait on a held monitor
+  MonitorNotify,    ///< ref = pop; Object.notify
+  MonitorNotifyAll, ///< ref = pop; Object.notifyAll
+
+  // Exceptions and effects.
+  Throw,      ///< code = pop; throws GuestError{code}
+  Print,      ///< observable side effect (forbids elision)
+  NativeCall, ///< opaque side effect (forbids elision)
+
+  Return, ///< pop return value, leave method
+};
+
+/// Printable opcode name.
+const char *opcodeName(Opcode Op);
+
+/// True if the opcode writes heap or static state or has an external side
+/// effect — the Section 3.2 "writes and side effects" test. Store (to
+/// locals) is handled separately via liveness.
+inline bool isWriteOrSideEffect(Opcode Op) {
+  switch (Op) {
+  case Opcode::PutField:
+  case Opcode::PutRef:
+  case Opcode::PutStatic:
+  case Opcode::AStore: // "writes to array elements" (Section 3.2)
+  case Opcode::MonitorWait:
+  case Opcode::MonitorNotify:
+  case Opcode::MonitorNotifyAll:
+  case Opcode::Print:
+  case Opcode::NativeCall:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_OPCODE_H

@@ -1,0 +1,119 @@
+//===- jit/Program.h - CSIR methods and modules -----------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CSIR program containers: instructions, methods (with the paper's
+/// @SoleroReadOnly annotation, Section 3.2), and modules (methods plus
+/// static cells).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_PROGRAM_H
+#define SOLERO_JIT_PROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jit/Opcode.h"
+#include "support/Assert.h"
+
+namespace solero {
+namespace jit {
+
+/// Guest objects have a fixed layout: ObjectIntFields integer fields
+/// (F[0..)) and ObjectRefFields reference fields (R[0..)).
+inline constexpr uint32_t ObjectIntFields = 8;
+inline constexpr uint32_t ObjectRefFields = 4;
+
+/// One CSIR instruction: opcode plus immediate.
+struct Instruction {
+  Opcode Op;
+  int32_t A = 0;
+};
+
+/// A CSIR method. Locals [0, NumParams) are the parameters.
+struct Method {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumLocals = 0; ///< total local slots, including parameters
+  std::vector<Instruction> Code;
+
+  /// The paper's @SoleroReadOnly: every synchronized block in this method
+  /// is read-only even if the analysis cannot prove it (e.g. because of
+  /// virtual invokes).
+  bool AnnotatedReadOnly = false;
+  /// The Section 5 extension annotation: treat this method's synchronized
+  /// blocks as read-mostly (elide, upgrade before writes).
+  bool AnnotatedReadMostly = false;
+};
+
+/// A module: methods plus mutable static integer cells.
+class Module {
+public:
+  /// Adds a method; returns its id. Names must be unique.
+  uint32_t addMethod(Method M) {
+    SOLERO_CHECK(NamesToIds.find(M.Name) == NamesToIds.end(),
+                 "duplicate method name");
+    uint32_t Id = static_cast<uint32_t>(Methods.size());
+    NamesToIds.emplace(M.Name, Id);
+    Methods.push_back(std::move(M));
+    return Id;
+  }
+
+  const Method &method(uint32_t Id) const {
+    SOLERO_CHECK(Id < Methods.size(), "method id out of range");
+    return Methods[Id];
+  }
+  Method &method(uint32_t Id) {
+    SOLERO_CHECK(Id < Methods.size(), "method id out of range");
+    return Methods[Id];
+  }
+
+  /// Id of a method by name; asserts existence.
+  uint32_t methodId(const std::string &Name) const {
+    auto It = NamesToIds.find(Name);
+    SOLERO_CHECK(It != NamesToIds.end(), "unknown method name");
+    return It->second;
+  }
+  bool hasMethod(const std::string &Name) const {
+    return NamesToIds.count(Name) != 0;
+  }
+
+  std::size_t methodCount() const { return Methods.size(); }
+
+  /// Number of static integer cells (S[0..N)).
+  uint32_t NumStatics = 0;
+
+private:
+  std::vector<Method> Methods;
+  std::unordered_map<std::string, uint32_t> NamesToIds;
+};
+
+/// Guest runtime error codes (a stand-in for Java runtime exceptions,
+/// which Section 3.2 allows inside read-only synchronized blocks).
+enum class GuestErrorKind : int32_t {
+  NullPointer = 1,
+  Arithmetic = 2,
+  StackOverflow = 3,
+  ArrayIndexOutOfBounds = 4,
+  NegativeArraySize = 5,
+  IllegalMonitorState = 6,
+  UserThrow = 100, ///< user codes are >= 100
+};
+
+/// The guest exception. Thrown by interpreter ops and by Opcode::Throw;
+/// inside an elided section the SOLERO engine decides whether it is
+/// genuine (Section 3.3).
+struct GuestError {
+  int32_t Code;
+};
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_PROGRAM_H

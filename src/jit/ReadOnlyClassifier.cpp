@@ -1,0 +1,240 @@
+//===- jit/ReadOnlyClassifier.cpp - Section 3.2 analysis ------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/ReadOnlyClassifier.h"
+
+using namespace solero;
+using namespace solero::jit;
+
+const char *jit::regionKindName(RegionKind K) {
+  switch (K) {
+  case RegionKind::ReadOnly:
+    return "read-only";
+  case RegionKind::ReadMostly:
+    return "read-mostly";
+  case RegionKind::Writing:
+    return "writing";
+  }
+  SOLERO_UNREACHABLE("bad RegionKind");
+}
+
+const ClassifiedRegion &ClassifiedModule::regionAt(uint32_t MethodId,
+                                                   uint32_t EnterPc) const {
+  for (const ClassifiedRegion &R : regions(MethodId))
+    if (R.Region.EnterPc == EnterPc)
+      return R;
+  SOLERO_UNREACHABLE("no classified region at this pc");
+}
+
+std::vector<uint64_t> jit::computeLiveIn(const Module &M, uint32_t Id) {
+  const Method &Fn = M.method(Id);
+  SOLERO_CHECK(Fn.NumLocals <= 64, "liveness supports at most 64 locals");
+  const std::size_t N = Fn.Code.size();
+  std::vector<uint64_t> LiveIn(N, 0);
+
+  // Iterate to a fixed point; CSIR methods are small, so the quadratic
+  // worst case is irrelevant.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::size_t Pc = N; Pc-- > 0;) {
+      const Instruction &I = Fn.Code[Pc];
+      uint64_t Out = 0;
+      auto Succ = [&](std::size_t S) {
+        if (S < N)
+          Out |= LiveIn[S];
+      };
+      switch (I.Op) {
+      case Opcode::Jump:
+        Succ(static_cast<std::size_t>(I.A));
+        break;
+      case Opcode::JumpIfZero:
+      case Opcode::JumpIfNonZero:
+        Succ(static_cast<std::size_t>(I.A));
+        Succ(Pc + 1);
+        break;
+      case Opcode::Return:
+      case Opcode::Throw:
+        break; // no successors
+      default:
+        Succ(Pc + 1);
+        break;
+      }
+      uint64_t In = Out;
+      if (I.Op == Opcode::Store)
+        In &= ~(1ULL << I.A); // def kills
+      if (I.Op == Opcode::Load)
+        In |= 1ULL << I.A; // use gens
+      if (In != LiveIn[Pc]) {
+        LiveIn[Pc] = In;
+        Changed = true;
+      }
+    }
+  }
+  return LiveIn;
+}
+
+namespace {
+
+/// Inter-procedural purity: a method is pure if no instruction writes heap
+/// or static state, performs a side effect, enters a monitor, or invokes
+/// an impure (or recursive) method. Throwing and allocation are allowed.
+class PurityAnalysis {
+public:
+  explicit PurityAnalysis(const Module &M) : M(M) {
+    States.resize(M.methodCount(), ClassifiedModule::PurityState::Unknown);
+  }
+
+  bool isPure(uint32_t Id) {
+    using PS = ClassifiedModule::PurityState;
+    switch (States[Id]) {
+    case PS::Pure:
+      return true;
+    case PS::Impure:
+      return false;
+    case PS::InProgress:
+      // Recursion: be conservative, as a JIT without a fixpoint engine
+      // would be.
+      return false;
+    case PS::Unknown:
+      break;
+    }
+    States[Id] = PS::InProgress;
+    bool Pure = true;
+    for (const Instruction &I : M.method(Id).Code) {
+      if (isWriteOrSideEffect(I.Op) || I.Op == Opcode::SyncEnter) {
+        Pure = false;
+        break;
+      }
+      if (I.Op == Opcode::Invoke &&
+          !isPure(static_cast<uint32_t>(I.A))) {
+        Pure = false;
+        break;
+      }
+    }
+    States[Id] = Pure ? PS::Pure : PS::Impure;
+    return Pure;
+  }
+
+  std::vector<ClassifiedModule::PurityState> takeStates() {
+    return std::move(States);
+  }
+
+private:
+  const Module &M;
+  std::vector<ClassifiedModule::PurityState> States;
+};
+
+} // namespace
+
+ClassifiedModule jit::classifyModule(const Module &M, const Profile *P) {
+  ClassifiedModule Out;
+  Out.PerMethod.resize(M.methodCount());
+  PurityAnalysis Purity(M);
+  // Resolve purity for everything first (order-independent).
+  for (uint32_t Id = 0; Id < M.methodCount(); ++Id)
+    (void)Purity.isPure(Id);
+
+  for (uint32_t Id = 0; Id < M.methodCount(); ++Id) {
+    VerifiedMethod V = verifyMethod(M, Id);
+    SOLERO_CHECK(V.Ok, "classifyModule requires a verified module");
+    const Method &Fn = M.method(Id);
+    std::vector<uint64_t> LiveIn = computeLiveIn(M, Id);
+
+    for (const SyncRegion &R : V.Regions) {
+      ClassifiedRegion C;
+      C.Region = R;
+      // The annotations override the analysis (Section 3.2 / Section 5).
+      if (Fn.AnnotatedReadOnly) {
+        C.Kind = RegionKind::ReadOnly;
+        C.Reason = "@SoleroReadOnly annotation";
+        Out.PerMethod[Id].push_back(std::move(C));
+        continue;
+      }
+      if (Fn.AnnotatedReadMostly) {
+        C.Kind = RegionKind::ReadMostly;
+        C.Reason = "@SoleroReadMostly annotation";
+        Out.PerMethod[Id].push_back(std::move(C));
+        continue;
+      }
+
+      std::string Blocker;
+      uint64_t WriteExecutions = 0;
+      bool NestedRegionSkip = false;
+      // Live-local stores block elision even in read-mostly form: the
+      // engine may re-execute the body, which would see the clobbered
+      // local. Heap writes are fine to re-execute because the upgrade (or
+      // fallback) happens before the first one runs.
+      bool HardBlock = false;
+      uint32_t NestedDepth = 0;
+      for (uint32_t Pc = R.EnterPc + 1; Pc < R.ExitPc; ++Pc) {
+        const Instruction &I = Fn.Code[Pc];
+        // Nested regions are classified on their own; for the enclosing
+        // region they count as a side effect (monitor operations write
+        // lock state).
+        if (I.Op == Opcode::SyncEnter) {
+          ++NestedDepth;
+          if (Blocker.empty())
+            Blocker = "nested synchronized block";
+          NestedRegionSkip = true;
+          continue;
+        }
+        if (I.Op == Opcode::SyncExit) {
+          --NestedDepth;
+          continue;
+        }
+        if (NestedDepth > 0)
+          continue; // effects inside nested regions belong to them
+        if (isWriteOrSideEffect(I.Op)) {
+          if (Blocker.empty())
+            Blocker = std::string("contains ") + opcodeName(I.Op);
+          if (P)
+            WriteExecutions += P->count(Id, Pc);
+          continue;
+        }
+        if (I.Op == Opcode::Store &&
+            (LiveIn[R.EnterPc] >> I.A) & 1) {
+          if (Blocker.empty())
+            Blocker = "writes local live at region entry";
+          HardBlock = true;
+          continue;
+        }
+        if (I.Op == Opcode::Invoke &&
+            !Purity.isPure(static_cast<uint32_t>(I.A))) {
+          if (Blocker.empty())
+            Blocker = "invokes method not provably read-only: " +
+                      M.method(static_cast<uint32_t>(I.A)).Name;
+          if (P)
+            WriteExecutions += P->count(Id, Pc);
+          continue;
+        }
+      }
+
+      if (Blocker.empty()) {
+        C.Kind = RegionKind::ReadOnly;
+        C.Reason = "no writes or side effects";
+      } else if (P && !NestedRegionSkip && !HardBlock) {
+        // Section 5 heuristic: writes that execute on fewer than 10% of
+        // region entries make the region read-mostly.
+        uint64_t Entries = P->count(Id, R.EnterPc);
+        if (Entries > 0 &&
+            WriteExecutions * 10 < Entries) {
+          C.Kind = RegionKind::ReadMostly;
+          C.Reason = "profile: rare writes (" + Blocker + ")";
+        } else {
+          C.Kind = RegionKind::Writing;
+          C.Reason = Blocker;
+        }
+      } else {
+        C.Kind = RegionKind::Writing;
+        C.Reason = Blocker;
+      }
+      Out.PerMethod[Id].push_back(std::move(C));
+    }
+  }
+  Out.Purity = Purity.takeStates();
+  return Out;
+}

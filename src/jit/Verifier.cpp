@@ -1,0 +1,305 @@
+//===- jit/Verifier.cpp - CSIR static checks ------------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+using namespace solero;
+using namespace solero::jit;
+
+namespace {
+
+/// Abstract machine state at an instruction boundary.
+struct AbsState {
+  int32_t Height = 0;
+  // Open synchronized regions: (SyncEnter pc, stack height after the
+  // monitor ref was popped).
+  std::vector<std::pair<uint32_t, int32_t>> Regions;
+
+  bool operator==(const AbsState &O) const {
+    return Height == O.Height && Regions == O.Regions;
+  }
+};
+
+struct Checker {
+  const Module &M;
+  const Method &Fn;
+  VerifiedMethod Out;
+  std::vector<std::optional<AbsState>> In;
+  std::deque<uint32_t> Worklist;
+
+  // Lexical SyncEnter -> SyncExit pairing (code order). Regions must be
+  // lexically balanced so that `synchronized { return x; }` — where the
+  // SyncExit is unreachable — still has a well-defined extent.
+  std::vector<int32_t> LexicalExit;
+
+  explicit Checker(const Module &M, uint32_t Id)
+      : M(M), Fn(M.method(Id)), In(Fn.Code.size()) {}
+
+  bool matchLexically() {
+    LexicalExit.assign(Fn.Code.size(), -1);
+    std::vector<uint32_t> Stack;
+    for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc) {
+      if (Fn.Code[Pc].Op == Opcode::SyncEnter) {
+        Stack.push_back(Pc);
+      } else if (Fn.Code[Pc].Op == Opcode::SyncExit) {
+        if (Stack.empty())
+          return fail(Pc, "SyncExit without a lexically matching SyncEnter");
+        LexicalExit[Stack.back()] = static_cast<int32_t>(Pc);
+        Stack.pop_back();
+      }
+    }
+    if (!Stack.empty())
+      return fail(Stack.back(), "SyncEnter without a matching SyncExit");
+    return true;
+  }
+
+  bool fail(uint32_t Pc, std::string Msg) {
+    Out.Ok = false;
+    Out.Error = std::move(Msg);
+    Out.ErrorPc = Pc;
+    return false;
+  }
+
+  bool flowTo(uint32_t From, uint32_t Target, const AbsState &S) {
+    if (Target >= Fn.Code.size())
+      return fail(From, "control flows past the end of the method");
+    if (!In[Target].has_value()) {
+      In[Target] = S;
+      Worklist.push_back(Target);
+      return true;
+    }
+    if (!(*In[Target] == S))
+      return fail(Target, "inconsistent stack or region state at join "
+                          "(branch crosses a synchronized region boundary?)");
+    return true;
+  }
+
+  bool run() {
+    if (Fn.Code.empty())
+      return fail(0, "empty method body");
+    if (Fn.NumLocals < Fn.NumParams)
+      return fail(0, "locals smaller than parameter count");
+    if (!matchLexically())
+      return false;
+    In[0] = AbsState{};
+    Worklist.push_back(0);
+    while (!Worklist.empty()) {
+      uint32_t Pc = Worklist.front();
+      Worklist.pop_front();
+      if (!step(Pc))
+        return false;
+    }
+    // Regions come from the lexical pairing; the dataflow has confirmed
+    // that every executed SyncExit agrees with it.
+    for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc)
+      if (Fn.Code[Pc].Op == Opcode::SyncEnter)
+        Out.Regions.push_back(
+            SyncRegion{Pc, static_cast<uint32_t>(LexicalExit[Pc])});
+    Out.Ok = true;
+    return true;
+  }
+
+  bool step(uint32_t Pc) {
+    AbsState S = *In[Pc];
+    const Instruction &I = Fn.Code[Pc];
+    auto Need = [&](int N) {
+      if (S.Height < N)
+        return fail(Pc, "operand stack underflow");
+      return true;
+    };
+    auto CheckLocal = [&](int32_t Slot) {
+      if (Slot < 0 || static_cast<uint32_t>(Slot) >= Fn.NumLocals)
+        return fail(Pc, "local slot out of range");
+      return true;
+    };
+
+    switch (I.Op) {
+    case Opcode::Const:
+    case Opcode::NewObject:
+    case Opcode::PushNull:
+      ++S.Height;
+      break;
+    case Opcode::GetStatic:
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= M.NumStatics)
+        return fail(Pc, "static index out of range");
+      ++S.Height;
+      break;
+    case Opcode::PutStatic:
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= M.NumStatics)
+        return fail(Pc, "static index out of range");
+      if (!Need(1))
+        return false;
+      --S.Height;
+      break;
+    case Opcode::Dup:
+      if (!Need(1))
+        return false;
+      ++S.Height;
+      break;
+    case Opcode::Pop:
+    case Opcode::Print:
+    case Opcode::MonitorWait:
+    case Opcode::MonitorNotify:
+    case Opcode::MonitorNotifyAll:
+      if (!Need(1))
+        return false;
+      --S.Height;
+      break;
+    case Opcode::Swap:
+      if (!Need(2))
+        return false;
+      break;
+    case Opcode::Load:
+      if (!CheckLocal(I.A))
+        return false;
+      ++S.Height;
+      break;
+    case Opcode::Store:
+      if (!CheckLocal(I.A) || !Need(1))
+        return false;
+      --S.Height;
+      break;
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::CmpEq:
+    case Opcode::CmpLt:
+      if (!Need(2))
+        return false;
+      --S.Height;
+      break;
+    case Opcode::Neg:
+    case Opcode::NativeCall:
+    case Opcode::NewArray:
+    case Opcode::ArrayLen:
+      if (!Need(1))
+        return false;
+      break;
+    case Opcode::ALoad:
+      if (!Need(2))
+        return false;
+      --S.Height;
+      break;
+    case Opcode::AStore:
+      if (!Need(3))
+        return false;
+      S.Height -= 3;
+      break;
+    case Opcode::GetField:
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= ObjectIntFields)
+        return fail(Pc, "integer field index out of range");
+      if (!Need(1))
+        return false;
+      break;
+    case Opcode::GetRef:
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= ObjectRefFields)
+        return fail(Pc, "reference field index out of range");
+      if (!Need(1))
+        return false;
+      break;
+    case Opcode::PutField:
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= ObjectIntFields)
+        return fail(Pc, "integer field index out of range");
+      if (!Need(2))
+        return false;
+      S.Height -= 2;
+      break;
+    case Opcode::PutRef:
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= ObjectRefFields)
+        return fail(Pc, "reference field index out of range");
+      if (!Need(2))
+        return false;
+      S.Height -= 2;
+      break;
+    case Opcode::Invoke: {
+      if (I.A < 0 || static_cast<uint32_t>(I.A) >= M.methodCount())
+        return fail(Pc, "invoke target out of range");
+      int Params = static_cast<int>(M.method(static_cast<uint32_t>(I.A))
+                                        .NumParams);
+      if (!Need(Params))
+        return false;
+      S.Height -= Params - 1;
+      break;
+    }
+    case Opcode::SyncEnter:
+      if (!Need(1))
+        return false;
+      --S.Height;
+      S.Regions.emplace_back(Pc, S.Height);
+      break;
+    case Opcode::SyncExit: {
+      if (S.Regions.empty())
+        return fail(Pc, "SyncExit without an open region");
+      auto [EnterPc, EnterHeight] = S.Regions.back();
+      if (S.Height != EnterHeight)
+        return fail(Pc, "operand stack not balanced across the "
+                        "synchronized region");
+      S.Regions.pop_back();
+      if (LexicalExit[EnterPc] != static_cast<int32_t>(Pc))
+        return fail(Pc, "dynamic region nesting disagrees with the lexical "
+                        "SyncEnter/SyncExit pairing");
+      break;
+    }
+    case Opcode::Jump:
+      if (I.A < 0)
+        return fail(Pc, "unresolved jump label");
+      return flowTo(Pc, static_cast<uint32_t>(I.A), S);
+    case Opcode::JumpIfZero:
+    case Opcode::JumpIfNonZero:
+      if (I.A < 0)
+        return fail(Pc, "unresolved jump label");
+      if (!Need(1))
+        return false;
+      --S.Height;
+      if (!flowTo(Pc, static_cast<uint32_t>(I.A), S))
+        return false;
+      break;
+    case Opcode::Throw:
+      if (!Need(1))
+        return false;
+      return true; // no normal successor
+    case Opcode::Return:
+      if (!Need(1))
+        return false;
+      if (!S.Regions.empty()) {
+        // Returning from inside a synchronized region is legal (the
+        // interpreter releases the monitors), but the region must still
+        // have a lexical SyncExit reached on some other path; nothing to
+        // record here.
+      }
+      return true; // no successor
+    }
+
+    Out.MaxStack =
+        std::max(Out.MaxStack, static_cast<uint32_t>(std::max(S.Height, 0)));
+    return flowTo(Pc, Pc + 1, S);
+  }
+};
+
+} // namespace
+
+VerifiedMethod jit::verifyMethod(const Module &M, uint32_t Id) {
+  Checker C(M, Id);
+  C.run();
+  return std::move(C.Out);
+}
+
+VerifiedMethod jit::verifyModule(const Module &M) {
+  for (uint32_t Id = 0; Id < M.methodCount(); ++Id) {
+    VerifiedMethod V = verifyMethod(M, Id);
+    if (!V.Ok)
+      return V;
+  }
+  VerifiedMethod Ok;
+  Ok.Ok = true;
+  return Ok;
+}

@@ -1,0 +1,59 @@
+//===- jit/Verifier.h - CSIR static checks ----------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CSIR verifier: abstract interpretation of stack heights and
+/// synchronized-region nesting. Verification discovers the synchronized
+/// regions (SyncEnter/SyncExit ranges) that the classifier analyzes and
+/// the interpreter executes; ill-formed methods are rejected with a
+/// diagnostic instead of misbehaving at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_VERIFIER_H
+#define SOLERO_JIT_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+#include "jit/Program.h"
+
+namespace solero {
+namespace jit {
+
+/// A synchronized region: instructions (EnterPc, ExitPc) exclusive of the
+/// SyncEnter/SyncExit themselves.
+struct SyncRegion {
+  uint32_t EnterPc; ///< pc of the SyncEnter
+  uint32_t ExitPc;  ///< pc of the matching SyncExit
+};
+
+/// Result of verifying one method.
+struct VerifiedMethod {
+  bool Ok = false;
+  std::string Error;        ///< diagnostic when !Ok
+  uint32_t ErrorPc = 0;     ///< instruction the diagnostic refers to
+  uint32_t MaxStack = 0;    ///< maximum operand stack height
+  std::vector<SyncRegion> Regions; ///< in order of EnterPc
+};
+
+/// Verifies method \p Id of \p M:
+///  - jump targets, local slots, static indices, field indices, and invoke
+///    targets are in range;
+///  - the operand stack never underflows and has a consistent height at
+///    every join point;
+///  - SyncEnter/SyncExit nest properly, no branch crosses a region
+///    boundary, and the stack is balanced across each region;
+///  - execution cannot fall off the end of the method.
+VerifiedMethod verifyMethod(const Module &M, uint32_t Id);
+
+/// Verifies every method; returns the first failure (or Ok).
+VerifiedMethod verifyModule(const Module &M);
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_VERIFIER_H

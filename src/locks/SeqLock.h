@@ -1,0 +1,101 @@
+//===- locks/SeqLock.h - Plain sequential lock ------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Linux-kernel-style sequential lock of paper Figure 4 — the
+/// algorithmic basis of SOLERO. Kept deliberately bare: it is not
+/// re-entrant, has no contention management, and readers must obey the
+/// seqlock restrictions (no pointer chasing into reclaimable memory, loops
+/// must be bounded). SOLERO (core/SoleroLock.h) is the version that lifts
+/// those restrictions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_LOCKS_SEQLOCK_H
+#define SOLERO_LOCKS_SEQLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/Backoff.h"
+
+namespace solero {
+
+/// Counter-based sequential lock. Odd value = write locked.
+class SeqLock {
+public:
+  SeqLock() = default;
+  SeqLock(const SeqLock &) = delete;
+  SeqLock &operator=(const SeqLock &) = delete;
+
+  /// Acquires the write lock (paper Figure 4(a)). Not re-entrant.
+  void writeLock() {
+    for (;;) {
+      uint64_t V = Counter.load(std::memory_order_relaxed);
+      if ((V & 1) == 0 &&
+          Counter.compare_exchange_weak(V, V + 1, std::memory_order_acquire,
+                                        std::memory_order_relaxed))
+        return;
+      cpuRelax();
+    }
+  }
+
+  /// Releases the write lock.
+  void writeUnlock() {
+    // Counter is odd; the increment publishes all writes in the section.
+    Counter.fetch_add(1, std::memory_order_release);
+  }
+
+  /// Begins an optimistic read (paper Figure 4(b)): spins past writers and
+  /// returns the even counter observed.
+  uint64_t readBegin() const {
+    for (;;) {
+      uint64_t V = Counter.load(std::memory_order_acquire);
+      if ((V & 1) == 0) {
+        // Order the section's data loads after this point (StoreLoad on the
+        // writer side is provided by its RMWs; readers need the seq fence
+        // only for Java-style lock ordering, which plain seqlocks do not
+        // promise).
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return V;
+      }
+      cpuRelax();
+    }
+  }
+
+  /// True if the section that started at \p V must be re-executed.
+  bool readRetry(uint64_t V) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return Counter.load(std::memory_order_relaxed) != V;
+  }
+
+  /// Convenience: runs \p F until it executes without interference.
+  /// \p F must be side-effect-free and safe to repeat.
+  template <typename Fn> auto readProtected(Fn &&F) const {
+    for (;;) {
+      uint64_t V = readBegin();
+      auto Result = F();
+      if (!readRetry(V))
+        return Result;
+    }
+  }
+
+  /// Runs \p F under the write lock.
+  template <typename Fn> void writeProtected(Fn &&F) {
+    writeLock();
+    F();
+    writeUnlock();
+  }
+
+  uint64_t value() const { return Counter.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Counter{0};
+};
+
+} // namespace solero
+
+#endif // SOLERO_LOCKS_SEQLOCK_H

@@ -1,0 +1,118 @@
+//===- locks/TasukiLock.cpp - Conventional bimodal Java lock --------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "locks/TasukiLock.h"
+
+#include "support/Assert.h"
+
+using namespace solero;
+using namespace solero::lockword;
+
+void TasukiLock::enter(ObjectHeader &H) {
+  ThreadState &TS = ThreadRegistry::current();
+  // Fast path (Figure 2): CAS the free word to this thread's id.
+  for (;;) {
+    uint64_t V = H.word().load(std::memory_order_relaxed);
+    if (V != 0) {
+      slowEnter(H, TS);
+      return;
+    }
+    ++TS.Counters.AtomicRmws;
+    if (H.word().compare_exchange_weak(V, TS.tidBits(),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed))
+      return;
+  }
+}
+
+void TasukiLock::slowEnter(ObjectHeader &H, ThreadState &TS) {
+  uint64_t V = H.word().load(std::memory_order_acquire);
+  if (convHeldBy(V, TS.tidBits())) {
+    // Recursive acquisition. fetch_add preserves a concurrently-set FLC bit.
+    if (convRecursion(V) == ConvRecMax) {
+      // Recursion bits saturated: inflate while held (paper Section 2.1).
+      OsMonitor &M = Ctx.monitors().monitorFor(H);
+      M.inflateHeldByOwner(H, TS, static_cast<uint32_t>(ConvRecMax) + 1,
+                           /*RestoreW=*/0);
+      return;
+    }
+    ++TS.Counters.AtomicRmws;
+    H.word().fetch_add(ConvRecUnit, std::memory_order_relaxed);
+    return;
+  }
+  // Contended or inflated: shared three-tier + park machinery.
+  (void)contendedAcquire(Ctx.monitors(), H, ConvFlatProtocol, TS,
+                         Ctx.config().Tiers, Ctx.config().ParkMicros);
+}
+
+void TasukiLock::exit(ObjectHeader &H) {
+  ThreadState &TS = ThreadRegistry::current();
+  uint64_t V = H.word().load(std::memory_order_relaxed);
+  // Fast path (Figure 2): no recursion, no FLC, no inflation.
+  if ((V & LowBitsMask) == 0) {
+    H.word().store(0, std::memory_order_release);
+    ++TS.Counters.LockWordStores;
+    return;
+  }
+  slowExit(H, TS);
+}
+
+void TasukiLock::slowExit(ObjectHeader &H, ThreadState &TS) {
+  uint64_t V = H.word().load(std::memory_order_relaxed);
+  if (isInflated(V)) {
+    Ctx.monitors().byIndex(monitorIndex(V)).fatExit(H, TS);
+    return;
+  }
+  SOLERO_CHECK(convHeldBy(V, TS.tidBits()), "exit of a lock not held");
+  if (convRecursion(V) > 0) {
+    ++TS.Counters.AtomicRmws;
+    H.word().fetch_sub(ConvRecUnit, std::memory_order_relaxed);
+    return;
+  }
+  // FLC is set: release, then wake the parked contenders so one of them can
+  // inflate (tasuki handshake).
+  H.word().store(0, std::memory_order_release);
+  ++TS.Counters.LockWordStores;
+  Ctx.monitors().monitorFor(H).notifyFlatRelease();
+}
+
+void TasukiLock::wait(ObjectHeader &H) {
+  ThreadState &TS = ThreadRegistry::current();
+  uint64_t V = H.word().load(std::memory_order_acquire);
+  if (!isInflated(V)) {
+    // Waiting requires a wait set: inflate the flat lock we hold,
+    // carrying the recursion depth into the monitor.
+    SOLERO_CHECK(convHeldBy(V, TS.tidBits()), "Object.wait without monitor");
+    OsMonitor &M = Ctx.monitors().monitorFor(H);
+    M.inflateHeldByOwner(H, TS,
+                         static_cast<uint32_t>(convRecursion(V)),
+                         /*RestoreW=*/0);
+    V = H.word().load(std::memory_order_acquire);
+  }
+  Ctx.monitors().byIndex(monitorIndex(V)).fatWait(H, TS,
+                                                  Ctx.config().ParkMicros);
+}
+
+void TasukiLock::notify(ObjectHeader &H, bool All) {
+  ThreadState &TS = ThreadRegistry::current();
+  uint64_t V = H.word().load(std::memory_order_acquire);
+  if (!isInflated(V)) {
+    // Flat: any waiter would have inflated the lock, so the wait set is
+    // empty and notify is a no-op (but still requires ownership).
+    SOLERO_CHECK(convHeldBy(V, TS.tidBits()),
+                 "Object.notify without monitor");
+    return;
+  }
+  Ctx.monitors().byIndex(monitorIndex(V)).fatNotify(TS, All);
+}
+
+bool TasukiLock::heldByCurrentThread(ObjectHeader &H) {
+  ThreadState &TS = ThreadRegistry::current();
+  uint64_t V = H.word().load(std::memory_order_acquire);
+  if (isInflated(V))
+    return Ctx.monitors().byIndex(monitorIndex(V)).isOwner(TS);
+  return convHeldBy(V, TS.tidBits());
+}

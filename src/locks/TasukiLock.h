@@ -1,0 +1,90 @@
+//===- locks/TasukiLock.h - Conventional bimodal Java lock ------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conventional Java lock of paper Section 2.1 (the "Lock" baseline):
+/// a tasuki-style bimodal lock with flat (thin) CAS acquisition (Figure 2),
+/// recursion bits, the FLC contention bit, three-tier spinning (Figure 3),
+/// inflation to an OS monitor and deflation back to flat mode.
+///
+/// Read-only critical sections pay the full mutual-exclusion protocol —
+/// that is exactly the overhead SOLERO removes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_LOCKS_TASUKILOCK_H
+#define SOLERO_LOCKS_TASUKILOCK_H
+
+#include <cstdint>
+#include <type_traits>
+
+#include "runtime/LockWord.h"
+#include "runtime/ReadGuard.h"
+#include "runtime/RuntimeContext.h"
+#include "support/ScopeExit.h"
+
+namespace solero {
+
+/// The conventional (mutual exclusion) lock protocol bound to a runtime
+/// context. Stateless per lock: all state lives in each object's header.
+class TasukiLock {
+public:
+  explicit TasukiLock(RuntimeContext &Ctx) : Ctx(Ctx) {}
+
+  /// Acquires \p H's monitor (paper Figure 2 fast path + slow path).
+  /// Re-entrant.
+  void enter(ObjectHeader &H);
+
+  /// Releases one level of \p H's monitor.
+  void exit(ObjectHeader &H);
+
+  /// True if the calling thread owns \p H's monitor (flat or fat).
+  bool heldByCurrentThread(ObjectHeader &H);
+
+  /// Object.wait: releases \p H's monitor (inflating a flat lock first)
+  /// and sleeps until notified; reacquires before returning. Returns may
+  /// be spurious (the Java contract) — call inside a predicate loop. The
+  /// caller must own the monitor.
+  void wait(ObjectHeader &H);
+
+  /// Object.notify / notifyAll. The caller must own the monitor. A flat
+  /// (never-inflated-for-wait) monitor has an empty wait set: no-op.
+  void notify(ObjectHeader &H, bool All = false);
+
+  /// Runs \p F under the monitor.
+  template <typename Fn> decltype(auto) synchronizedWrite(ObjectHeader &H,
+                                                          Fn &&F) {
+    ThreadState &TS = ThreadRegistry::current();
+    ++TS.Counters.WriteEntries;
+    enter(H);
+    ScopeExit Release([&] { exit(H); });
+    return F();
+  }
+
+  /// Mutual exclusion has no read mode; a read-only section is an ordinary
+  /// critical section. The guard is non-speculative.
+  template <typename Fn> decltype(auto) synchronizedReadOnly(ObjectHeader &H,
+                                                             Fn &&F) {
+    ThreadState &TS = ThreadRegistry::current();
+    ++TS.Counters.ReadOnlyEntries;
+    enter(H);
+    ScopeExit Release([&] { exit(H); });
+    ReadGuard G(/*Speculative=*/false);
+    return F(G);
+  }
+
+  static const char *protocolName() { return "Lock"; }
+
+private:
+  void slowEnter(ObjectHeader &H, ThreadState &TS);
+  void slowExit(ObjectHeader &H, ThreadState &TS);
+
+  RuntimeContext &Ctx;
+};
+
+} // namespace solero
+
+#endif // SOLERO_LOCKS_TASUKILOCK_H

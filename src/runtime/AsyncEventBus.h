@@ -1,0 +1,60 @@
+//===- runtime/AsyncEventBus.h - Asynchronous read-validation events -*-C++-*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JVM in the paper "sends occasionally asynchronous events to threads"
+/// (the same channel used for GC checks); each thread notices the event at
+/// a check point and validates the read consistency of any in-flight
+/// read-only critical section, breaking inconsistent-read infinite loops
+/// (Section 3.3). This class is that event source: a low-frequency ticker
+/// that raises every registered thread's poll flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RUNTIME_ASYNCEVENTBUS_H
+#define SOLERO_RUNTIME_ASYNCEVENTBUS_H
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace solero {
+
+/// Periodically sets the PollFlag of every registered thread. Threads
+/// consume the flag at check points (ReadGuard::checkpoint or the CSIR
+/// interpreter's back-edge checks).
+class AsyncEventBus {
+public:
+  AsyncEventBus() = default;
+  ~AsyncEventBus() { stop(); }
+
+  AsyncEventBus(const AsyncEventBus &) = delete;
+  AsyncEventBus &operator=(const AsyncEventBus &) = delete;
+
+  /// Starts the ticker with the given period. No-op if already running.
+  void start(std::chrono::microseconds Period);
+
+  /// Stops the ticker and joins its thread. Safe to call repeatedly.
+  void stop();
+
+  /// Raises every live thread's poll flag immediately. Also usable without
+  /// start() — tests drive validation deterministically through this.
+  static void postToAllThreads();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// Number of ticks delivered since start (for tests/stats).
+  uint64_t tickCount() const { return Ticks.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Running{false};
+  std::atomic<uint64_t> Ticks{0};
+  std::thread Worker;
+};
+
+} // namespace solero
+
+#endif // SOLERO_RUNTIME_ASYNCEVENTBUS_H

@@ -1,0 +1,130 @@
+//===- runtime/LockWord.h - Bimodal lock word layouts -----------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction of Nakaike & Michael, PLDI 2010.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bit-exact lock word layouts from the paper (Figures 1 and 5).
+///
+/// Conventional (tasuki) flat lock:     SOLERO flat lock:
+///   bit 0    : inflation                 bit 0    : inflation
+///   bit 1    : FLC                       bit 1    : FLC
+///   bits 2..7: recursion (6 bits)        bit 2    : LOCK bit
+///   bits 8+  : thread id / monitor id    bits 3..7: recursion (5 bits)
+///                                        bits 8+  : counter (free) /
+///                                                   thread id (held) /
+///                                                   monitor id (inflated)
+///
+/// The fast paths in locks/TasukiLock.h and core/SoleroLock.h use the exact
+/// mask constants of the paper's pseudocode (0x7, 0xff, +0x8, +0x100, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RUNTIME_LOCKWORD_H
+#define SOLERO_RUNTIME_LOCKWORD_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace solero {
+namespace lockword {
+
+/// Bit 0: set while the lock is in fat (inflated) mode.
+inline constexpr uint64_t InflationBit = 0x1;
+/// Bit 1: flat-lock-contention bit; a contender sets it before parking.
+inline constexpr uint64_t FlcBit = 0x2;
+/// Bit 2 (SOLERO only): set while the flat lock is held by a writer.
+inline constexpr uint64_t SoleroLockBit = 0x4;
+
+/// Shift of the thread id / counter / monitor id field.
+inline constexpr unsigned TidShift = 8;
+
+/// SOLERO recursion field: bits 3..7 in units of 0x8 (paper Figure 8
+/// increments the count with `obj->lock += 0x8`).
+inline constexpr uint64_t SoleroRecUnit = 0x8;
+inline constexpr uint64_t SoleroRecMask = 0xf8;
+inline constexpr uint64_t SoleroRecMax = 31;
+
+/// Conventional recursion field: bits 2..7 in units of 0x4 (six bits, as in
+/// paper Figure 2's "six recursion bits").
+inline constexpr uint64_t ConvRecUnit = 0x4;
+inline constexpr uint64_t ConvRecMask = 0xfc;
+inline constexpr uint64_t ConvRecMax = 63;
+
+/// One increment of the SOLERO sequence counter (paper Figure 6 line 18:
+/// `obj->lock = v1 + 0x100`).
+inline constexpr uint64_t CounterUnit = 0x100;
+
+/// Mask of everything below the tid/counter field.
+inline constexpr uint64_t LowBitsMask = 0xff;
+
+/// The tid / counter / monitor-id field of \p V.
+inline constexpr uint64_t highField(uint64_t V) { return V & ~LowBitsMask; }
+
+/// True if \p V designates a fat (inflated) lock.
+inline constexpr bool isInflated(uint64_t V) { return (V & InflationBit) != 0; }
+
+/// Encodes monitor table index \p Idx as a fat-mode lock word.
+inline constexpr uint64_t inflatedWord(uint32_t Idx) {
+  return ((static_cast<uint64_t>(Idx) + 1) << TidShift) | InflationBit;
+}
+
+/// Extracts the monitor table index from a fat-mode word.
+inline constexpr uint32_t monitorIndex(uint64_t V) {
+  return static_cast<uint32_t>((V >> TidShift) - 1);
+}
+
+// --- SOLERO-layout helpers ----------------------------------------------
+
+/// True if the SOLERO word is free (counter state, elidable): the inflation,
+/// FLC, and LOCK bits are all clear. This is the paper's `(v & 0x7) == 0`.
+inline constexpr bool soleroIsFree(uint64_t V) { return (V & 0x7) == 0; }
+
+/// The word a SOLERO writer installs on acquisition: `thread_id + LOCK_BIT`.
+inline constexpr uint64_t soleroHeldWord(uint64_t TidBits) {
+  return TidBits | SoleroLockBit;
+}
+
+/// True if the SOLERO word is flat-held by the thread with id bits \p Tid.
+inline constexpr bool soleroHeldBy(uint64_t V, uint64_t TidBits) {
+  return (V & SoleroLockBit) != 0 && !isInflated(V) && highField(V) == TidBits;
+}
+
+/// Recursion count of a SOLERO flat-held word.
+inline constexpr uint64_t soleroRecursion(uint64_t V) {
+  return (V & SoleroRecMask) >> 3;
+}
+
+// --- Conventional-layout helpers ----------------------------------------
+
+/// True if the conventional word is flat-held by thread id bits \p Tid.
+inline constexpr bool convHeldBy(uint64_t V, uint64_t TidBits) {
+  return !isInflated(V) && highField(V) == TidBits && TidBits != 0;
+}
+
+/// Recursion count of a conventional flat-held word.
+inline constexpr uint64_t convRecursion(uint64_t V) {
+  return (V & ConvRecMask) >> 2;
+}
+
+} // namespace lockword
+
+/// The per-object lock variable. Embed one in every guest object that is
+/// used as a monitor, exactly as every Java object carries a lock word.
+class ObjectHeader {
+public:
+  ObjectHeader() = default;
+  ObjectHeader(const ObjectHeader &) = delete;
+  ObjectHeader &operator=(const ObjectHeader &) = delete;
+
+  std::atomic<uint64_t> &word() { return Word; }
+  const std::atomic<uint64_t> &word() const { return Word; }
+
+private:
+  std::atomic<uint64_t> Word{0};
+};
+
+} // namespace solero
+
+#endif // SOLERO_RUNTIME_LOCKWORD_H

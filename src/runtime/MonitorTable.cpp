@@ -1,0 +1,39 @@
+//===- runtime/MonitorTable.cpp - Object-to-monitor mapping ---------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/MonitorTable.h"
+
+#include "support/Assert.h"
+
+using namespace solero;
+
+OsMonitor &MonitorTable::monitorFor(const ObjectHeader &H) {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Map.find(&H);
+  if (It != Map.end())
+    return Monitors[It->second];
+  uint32_t Idx = static_cast<uint32_t>(Monitors.size());
+  Monitors.emplace_back(Idx);
+  Map.emplace(&H, Idx);
+  return Monitors[Idx];
+}
+
+OsMonitor *MonitorTable::lookup(const ObjectHeader &H) {
+  std::lock_guard<std::mutex> G(Mu);
+  auto It = Map.find(&H);
+  return It == Map.end() ? nullptr : &Monitors[It->second];
+}
+
+OsMonitor &MonitorTable::byIndex(uint32_t Idx) {
+  std::lock_guard<std::mutex> G(Mu);
+  SOLERO_CHECK(Idx < Monitors.size(), "monitor index out of range");
+  return Monitors[Idx];
+}
+
+std::size_t MonitorTable::size() {
+  std::lock_guard<std::mutex> G(Mu);
+  return Monitors.size();
+}

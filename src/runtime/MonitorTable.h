@@ -1,0 +1,56 @@
+//===- runtime/MonitorTable.h - Object-to-monitor mapping -------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps monitor objects (ObjectHeader addresses) to their OS monitors, as
+/// the paper's JVM "retrieves an OS monitor mapped to a monitor object".
+/// The mapping is created on first inflation and stays stable afterwards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RUNTIME_MONITORTABLE_H
+#define SOLERO_RUNTIME_MONITORTABLE_H
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "runtime/OsMonitor.h"
+
+namespace solero {
+
+/// Thread-safe registry of OS monitors, keyed by object identity.
+class MonitorTable {
+public:
+  MonitorTable() = default;
+  MonitorTable(const MonitorTable &) = delete;
+  MonitorTable &operator=(const MonitorTable &) = delete;
+
+  /// The monitor for \p H, created on first use. The returned reference is
+  /// stable for the lifetime of this table.
+  OsMonitor &monitorFor(const ObjectHeader &H);
+
+  /// The monitor for \p H if one exists, else nullptr. Used by held-by-self
+  /// checks that must not allocate.
+  OsMonitor *lookup(const ObjectHeader &H);
+
+  /// Monitor by fat-word index (lockword::monitorIndex).
+  OsMonitor &byIndex(uint32_t Idx);
+
+  /// Number of monitors ever created (== number of distinct objects that
+  /// were inflated at least once).
+  std::size_t size();
+
+private:
+  std::mutex Mu;
+  std::unordered_map<const ObjectHeader *, uint32_t> Map;
+  std::deque<OsMonitor> Monitors; // deque: stable element addresses
+};
+
+} // namespace solero
+
+#endif // SOLERO_RUNTIME_MONITORTABLE_H

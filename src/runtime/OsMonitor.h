@@ -1,0 +1,152 @@
+//===- runtime/OsMonitor.h - Fat-mode monitors ------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The OS monitor backing a lock's fat (inflated) mode, plus the shared
+/// contended-acquisition machinery used by both the conventional tasuki
+/// lock and SOLERO: three-tier spinning (paper Figure 3), FLC parking,
+/// inflation, and deflation.
+///
+/// Protocol-specific details (what a free word looks like, what word a
+/// flat owner installs, what word deflation restores) are supplied through
+/// the FlatProtocol descriptor so the tasuki and SOLERO layouts share one
+/// verified state machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RUNTIME_OSMONITOR_H
+#define SOLERO_RUNTIME_OSMONITOR_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "runtime/LockWord.h"
+#include "runtime/ThreadRegistry.h"
+#include "support/Backoff.h"
+
+namespace solero {
+
+class MonitorTable;
+
+/// Per-protocol lock-word encodings needed by the shared fat-mode machinery.
+struct FlatProtocol {
+  /// Word installed by a flat acquisition by the thread with \p TidBits.
+  uint64_t (*heldWordFor)(uint64_t TidBits);
+  /// True if \p V is a free (acquirable) flat word.
+  bool (*isFree)(uint64_t V);
+  /// Word written back on deflation given the free word \p FreeV observed
+  /// when the lock was inflated. SOLERO restores FreeV + 0x100 so
+  /// speculating readers detect the inflated episode; the conventional
+  /// protocol restores 0.
+  uint64_t (*restoreWord)(uint64_t FreeV);
+};
+
+/// The conventional (tasuki, Figure 2) flat-word encoding.
+extern const FlatProtocol ConvFlatProtocol;
+/// The SOLERO (Figure 6) flat-word encoding.
+extern const FlatProtocol SoleroFlatProtocol;
+
+/// How a contended acquisition finally succeeded.
+enum class AcquireKind {
+  Flat, ///< acquired the flat lock; AcquireResult::V1 is the prior free word
+  Fat   ///< acquired (or recursively re-entered) the inflated monitor
+};
+
+struct AcquireResult {
+  AcquireKind Kind;
+  uint64_t V1; ///< free word observed before a flat CAS (Flat only)
+};
+
+/// A heavyweight monitor: mutex + condition variable + logical owner. One
+/// exists per object that ever needed fat mode; the mapping lives in
+/// MonitorTable and is stable for the object's lifetime.
+class OsMonitor {
+public:
+  explicit OsMonitor(uint32_t Index) : Index(Index) {}
+
+  OsMonitor(const OsMonitor &) = delete;
+  OsMonitor &operator=(const OsMonitor &) = delete;
+
+  /// Result of one parking round of acquireOrPark().
+  enum class ParkResult {
+    AcquiredFat, ///< caller now owns the fat lock
+    Restart      ///< the word stopped designating this monitor (deflation);
+                 ///< caller must restart acquisition from the top
+  };
+
+  /// The contended slow path once spinning has given up. Runs under the
+  /// monitor mutex: acquires the fat lock if the word designates this
+  /// monitor, inflates the lock if the word is free, or sets the FLC bit
+  /// and parks if the word is thin-held by another thread. Parks are timed
+  /// (RuntimeConfig::ParkMicros) so the theoretically-lost FLC wakeup that
+  /// a blind release store can cause (see DESIGN.md) degrades to bounded
+  /// latency instead of a hang.
+  ParkResult acquireOrPark(ObjectHeader &H, const FlatProtocol &P,
+                           ThreadState &TS, std::chrono::microseconds Park);
+
+  /// Exits one level of the fat lock. When the recursion count reaches zero
+  /// and no thread is parked here, deflates: writes the restore word back
+  /// into \p H (paper Section 3.1's deflation with the incremented counter).
+  void fatExit(ObjectHeader &H, ThreadState &TS);
+
+  /// Converts a flat lock *held by the caller* into this fat monitor.
+  /// \p Recursion is the monitor-level recursion to carry over and
+  /// \p RestoreW the word deflation must publish.
+  void inflateHeldByOwner(ObjectHeader &H, ThreadState &TS, uint32_t Recursion,
+                          uint64_t RestoreW);
+
+  /// True if the calling thread owns the fat lock.
+  bool isOwner(const ThreadState &TS);
+
+  /// Wakes threads parked on this monitor. Called by a flat-lock releaser
+  /// that observed the FLC bit (paper Figure 9's check_flc).
+  void notifyFlatRelease();
+
+  // --- Object.wait / notify (fat mode only; waiting forces inflation) ----
+
+  /// Java Object.wait: the caller must own the fat lock. Releases it,
+  /// sleeps until notified (or a Park tick — callers treat returns as
+  /// possibly spurious, the Java contract), then reacquires before
+  /// returning. The monitor never deflates while its wait set is
+  /// non-empty.
+  void fatWait(ObjectHeader &H, ThreadState &TS,
+               std::chrono::microseconds Park);
+
+  /// Java Object.notify / notifyAll: the caller must own the fat lock.
+  void fatNotify(ThreadState &TS, bool All);
+
+  /// Number of threads in the wait set (tests).
+  uint32_t waitSetSize();
+
+  uint32_t index() const { return Index; }
+
+  /// Fat-mode word for this monitor.
+  uint64_t inflatedWord() const { return lockword::inflatedWord(Index); }
+
+private:
+  const uint32_t Index;
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::condition_variable WaitCv; // Object.wait sleepers
+  uint64_t OwnerTid = 0;    // guarded by Mu; 0 = unowned
+  uint32_t Recursion = 0;   // guarded by Mu
+  uint32_t Waiters = 0;     // guarded by Mu; parked or about-to-park threads
+  uint32_t WaitSet = 0;     // guarded by Mu; threads inside fatWait
+  uint64_t RestoreWord = 0; // guarded by Mu; written back on deflation
+};
+
+/// Runs the full contended acquisition: three-tier spin (Figure 3), then
+/// the inflate/park slow path. \p Tiers and \p Park come from RuntimeConfig.
+AcquireResult contendedAcquire(MonitorTable &Monitors, ObjectHeader &H,
+                               const FlatProtocol &P, ThreadState &TS,
+                               const SpinTiers &Tiers,
+                               std::chrono::microseconds Park);
+
+} // namespace solero
+
+#endif // SOLERO_RUNTIME_OSMONITOR_H

@@ -1,0 +1,55 @@
+//===- runtime/SharedField.h - Speculation-safe data fields -----*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SharedField<T> wraps data that may be read inside an elided (speculative)
+/// read-only critical section while a writer holding the lock mutates it.
+///
+/// In the paper's JVM, field accesses are naturally untorn (Java guarantees
+/// 64-bit-at-most atomicity for references and JIT-emitted loads). In C++ a
+/// racing plain load is undefined behaviour, so every field that a
+/// speculative reader may touch is a relaxed std::atomic. The relaxed
+/// ordering is exactly the seqlock discipline: the protocol-level fences in
+/// the elision engine (core/SoleroLock.h) provide all required ordering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RUNTIME_SHAREDFIELD_H
+#define SOLERO_RUNTIME_SHAREDFIELD_H
+
+#include <atomic>
+#include <type_traits>
+
+namespace solero {
+
+/// A data field that is safe to read speculatively. Reads and writes are
+/// relaxed atomics; protocol fences order them.
+template <typename T> class SharedField {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SharedField requires a trivially copyable type");
+
+public:
+  SharedField() : Value(T{}) {}
+  explicit SharedField(T Init) : Value(Init) {}
+
+  SharedField(const SharedField &) = delete;
+  SharedField &operator=(const SharedField &) = delete;
+
+  /// Relaxed load. Inside an elided section the result may be stale or
+  /// mutually inconsistent with other fields; end-of-section validation (or
+  /// a checkpoint) decides whether it can be trusted.
+  T read() const { return Value.load(std::memory_order_relaxed); }
+
+  /// Relaxed store. Call only while holding the protecting lock for writing.
+  void write(T V) { Value.store(V, std::memory_order_relaxed); }
+
+private:
+  std::atomic<T> Value;
+};
+
+} // namespace solero
+
+#endif // SOLERO_RUNTIME_SHAREDFIELD_H

@@ -1,0 +1,36 @@
+//===- runtime/SpeculationFault.h - Inconsistent-read abort -----*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abort signal thrown when an in-flight read-only critical section is
+/// found (at an asynchronous check point, paper Section 3.3) to have read
+/// inconsistent data. The elision engine catches it at the boundary of the
+/// failed section and retries.
+///
+/// This is the one sanctioned use of C++ exceptions in the library: the
+/// mechanism under study *is* exception-based recovery (the paper reuses
+/// Java exception handling), so the control transfer is reproduced as-is.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RUNTIME_SPECULATIONFAULT_H
+#define SOLERO_RUNTIME_SPECULATIONFAULT_H
+
+#include <cstddef>
+
+namespace solero {
+
+/// Thrown to abort speculative execution of read-only critical sections.
+/// \c Depth identifies the outermost invalidated speculation frame (an index
+/// into the thread's read-record stack); nested elision frames rethrow the
+/// fault until it reaches the frame that owns that record.
+struct SpeculationFault {
+  std::size_t Depth = 0;
+};
+
+} // namespace solero
+
+#endif // SOLERO_RUNTIME_SPECULATIONFAULT_H

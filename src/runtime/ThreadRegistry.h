@@ -1,0 +1,185 @@
+//===- runtime/ThreadRegistry.h - Per-thread runtime state ------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JVM-style per-thread state: a small stable thread id whose bits slot into
+/// lock words, the read-record stack walked by asynchronous read validation
+/// (paper Section 3.3), the poll flag set by the async event bus, and the
+/// per-thread protocol counters behind Table 1 / Figure 15.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RUNTIME_THREADREGISTRY_H
+#define SOLERO_RUNTIME_THREADREGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/LockWord.h"
+#include "support/Assert.h"
+#include "support/CacheLine.h"
+
+namespace solero {
+
+/// Counters maintained per thread with plain (non-atomic) increments and
+/// aggregated on demand. AtomicRmws and LockWordStores are the
+/// coherence-traffic proxies discussed in DESIGN.md: the paper attributes
+/// the scalability gap to atomic updates of lock variables, so counting
+/// them reproduces the scalability *shape* independent of core count.
+struct ProtocolCounters {
+  uint64_t WriteEntries = 0;     ///< mutual-exclusion / writing CS entries
+  uint64_t ReadOnlyEntries = 0;  ///< read-only CS entries
+  uint64_t AtomicRmws = 0;       ///< CAS / fetch_add on lock state
+  uint64_t LockWordStores = 0;   ///< plain stores to lock state
+  uint64_t ElisionAttempts = 0;  ///< speculative executions started
+  uint64_t ElisionSuccesses = 0; ///< validated speculative executions
+  uint64_t ElisionFailures = 0;  ///< failed validations (Figure 15 numerator)
+  uint64_t Fallbacks = 0;        ///< retries that acquired the lock for real
+  uint64_t FaultRetries = 0;     ///< guest exceptions absorbed as misspeculation
+  uint64_t AsyncAborts = 0;      ///< aborts raised at async check points
+  uint64_t Inflations = 0;
+  uint64_t Deflations = 0;
+  uint64_t FlcWaits = 0;         ///< parks on the flat-lock-contention path
+
+  ProtocolCounters &operator+=(const ProtocolCounters &O) {
+    WriteEntries += O.WriteEntries;
+    ReadOnlyEntries += O.ReadOnlyEntries;
+    AtomicRmws += O.AtomicRmws;
+    LockWordStores += O.LockWordStores;
+    ElisionAttempts += O.ElisionAttempts;
+    ElisionSuccesses += O.ElisionSuccesses;
+    ElisionFailures += O.ElisionFailures;
+    Fallbacks += O.Fallbacks;
+    FaultRetries += O.FaultRetries;
+    AsyncAborts += O.AsyncAborts;
+    Inflations += O.Inflations;
+    Deflations += O.Deflations;
+    FlcWaits += O.FlcWaits;
+    return *this;
+  }
+};
+
+/// One in-flight speculative read-only section: the monitor object and the
+/// lock value observed at entry (the paper's "local lock variable").
+struct ReadRecord {
+  ObjectHeader *Header = nullptr;
+  uint64_t Value = 0;
+};
+
+/// Per-OS-thread runtime state. Obtained via ThreadRegistry::current();
+/// never shared between threads except for the fields documented as such.
+class alignas(CacheLineSize) ThreadState {
+public:
+  /// Thread id bits pre-shifted into lock word position (bits 8+, nonzero).
+  uint64_t tidBits() const { return TidBits; }
+
+  /// Registry slot (0-based), handy as a dense per-thread index.
+  uint32_t slot() const { return Slot; }
+
+  // -- Read-record stack (owner thread only) ------------------------------
+  /// Fixed-capacity stack: speculation nests lexically, so depth is tiny;
+  /// a flat array keeps the elision fast path allocation- and branch-lean.
+  static constexpr std::size_t MaxReadDepth = 64;
+
+  std::size_t pushRead(ObjectHeader &H, uint64_t V) {
+    SOLERO_CHECK(ReadsDepth < MaxReadDepth, "speculation nested too deeply");
+    Reads[ReadsDepth] = ReadRecord{&H, V};
+    return ReadsDepth++;
+  }
+  void popRead() {
+    SOLERO_CHECK(ReadsDepth > 0, "popRead on empty record stack");
+    --ReadsDepth;
+  }
+  /// Records [0, readDepth()); walk with readRecord(I).
+  const ReadRecord &readRecord(std::size_t I) const { return Reads[I]; }
+  std::size_t readDepth() const { return ReadsDepth; }
+
+  // -- SOLERO recursion-overflow side table (owner thread only) -----------
+  // Used when a SOLERO flat lock's 5 recursion bits saturate; see
+  // core/SoleroLock.h for why SOLERO avoids saturation inflation.
+  void pushRecursionOverflow(ObjectHeader &H) { Overflow.push_back(&H); }
+  bool popRecursionOverflow(ObjectHeader &H) {
+    if (Overflow.empty() || Overflow.back() != &H)
+      return false;
+    Overflow.pop_back();
+    return true;
+  }
+  bool hasRecursionOverflow(ObjectHeader &H) const {
+    return !Overflow.empty() && Overflow.back() == &H;
+  }
+
+  /// Poll flag: written by the async event bus, consumed by this thread at
+  /// check points.
+  std::atomic<uint32_t> PollFlag{0};
+
+  /// Per-thread protocol counters (owner thread writes; aggregation reads
+  /// them racily, which is fine for statistics).
+  ProtocolCounters Counters;
+
+private:
+  friend class ThreadRegistry;
+  uint64_t TidBits = 0;
+  uint32_t Slot = 0;
+  uint32_t ReadsDepth = 0;
+  ReadRecord Reads[MaxReadDepth];
+  std::vector<ObjectHeader *> Overflow;
+};
+
+namespace detail {
+/// Fast-path cache for ThreadRegistry::current(). Internal.
+extern thread_local ThreadState *CurrentThreadState;
+} // namespace detail
+
+/// Process-wide registry handing out ThreadStates. A thread registers
+/// lazily on first use and unregisters automatically at thread exit; slots
+/// (and thus tid bits) are recycled.
+class ThreadRegistry {
+public:
+  /// The process-wide registry.
+  static ThreadRegistry &instance();
+
+  /// The calling thread's state (registers on first call). The fast path
+  /// is a single TLS load; lock fast paths call this per critical section.
+  static ThreadState &current() {
+    ThreadState *TS = detail::CurrentThreadState;
+    if (TS)
+      return *TS;
+    return currentSlow();
+  }
+
+  /// Runs \p F once per live registered thread, under the registry lock.
+  /// Used by the async event bus and by counter aggregation.
+  template <typename Fn> void forEachThread(Fn &&F) {
+    std::lock_guard<std::mutex> G(Mu);
+    for (ThreadState *TS : Live)
+      if (TS)
+        F(*TS);
+  }
+
+  /// Sum of counters across live threads plus threads that already exited.
+  ProtocolCounters totalCounters();
+
+  /// Number of currently registered threads.
+  std::size_t liveThreadCount();
+
+private:
+  ThreadRegistry() = default;
+  static ThreadState &currentSlow();
+  ThreadState *registerThread();
+  void unregisterThread(ThreadState *TS);
+
+  struct Tls;
+
+  std::mutex Mu;
+  std::vector<ThreadState *> Live; // indexed by slot; null = free slot
+  ProtocolCounters Retired;        // counters of exited threads
+};
+
+} // namespace solero
+
+#endif // SOLERO_RUNTIME_THREADREGISTRY_H

@@ -1,0 +1,44 @@
+//===- support/Assert.h - Assertion helpers ---------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction of Nakaike & Michael, "Lock Elision for
+// Read-Only Critical Sections in Java", PLDI 2010.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion and unreachable-code helpers shared by all SOLERO libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_ASSERT_H
+#define SOLERO_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace solero {
+
+/// Aborts the process with a diagnostic. Used for states that indicate a bug
+/// in this library rather than misuse by the caller.
+[[noreturn]] inline void fatalError(const char *Msg, const char *File,
+                                    int Line) {
+  std::fprintf(stderr, "solero fatal error: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace solero
+
+/// Marks a point in the code that must never be reached if the library's
+/// invariants hold.
+#define SOLERO_UNREACHABLE(Msg) ::solero::fatalError(Msg, __FILE__, __LINE__)
+
+/// Invariant check that stays enabled in release builds. The lock protocols
+/// are subtle enough that silent invariant violations are far more expensive
+/// than the cost of the check.
+#define SOLERO_CHECK(Cond, Msg)                                                \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::solero::fatalError(Msg, __FILE__, __LINE__);                           \
+  } while (false)
+
+#endif // SOLERO_SUPPORT_ASSERT_H

@@ -1,0 +1,58 @@
+//===- support/Backoff.h - Spin-wait backoff --------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CPU-relax and yield primitives used by the three-tier locking scheme
+/// (paper Figure 3). The innermost tier wastes cycles with cpuRelax(), the
+/// outermost yields the processor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_BACKOFF_H
+#define SOLERO_SUPPORT_BACKOFF_H
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace solero {
+
+/// Hints the CPU that the caller is spin-waiting.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Yields the processor to the OS scheduler (tier 3 of the three-tier
+/// scheme). Essential on machines with fewer cores than runnable threads.
+inline void osYield() { std::this_thread::yield(); }
+
+/// Tuning knobs for the three-tier contention loop of paper Figure 3.
+/// Tier1: busy-wait iterations between acquisition attempts.
+/// Tier2: acquisition attempts between yields.
+/// Tier3: yields before giving up and inflating the lock.
+struct SpinTiers {
+  int Tier1 = 64;
+  int Tier2 = 16;
+  int Tier3 = 8;
+};
+
+/// Executes the tier-1 busy-wait loop.
+inline void spinTier1(int Iterations) {
+  for (int I = 0; I < Iterations; ++I)
+    cpuRelax();
+}
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_BACKOFF_H

@@ -1,0 +1,58 @@
+//===- support/Barrier.h - Thread start barrier -----------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable sense-reversing barrier. The benchmark harness uses it to
+/// release all worker threads at the same instant so that throughput
+/// windows line up across threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_BARRIER_H
+#define SOLERO_SUPPORT_BARRIER_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/Backoff.h"
+
+namespace solero {
+
+/// Sense-reversing spinning barrier for a fixed number of participants.
+/// Spins with osYield() so it behaves on machines with one hardware thread.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(uint32_t Participants)
+      : Count(Participants), Remaining(Participants) {}
+
+  /// Blocks until all participants have arrived. Reusable across rounds.
+  void arriveAndWait() {
+    bool MySense = !Sense.load(std::memory_order_relaxed);
+    if (Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      Remaining.store(Count, std::memory_order_relaxed);
+      Sense.store(MySense, std::memory_order_release);
+      return;
+    }
+    int Spins = 0;
+    while (Sense.load(std::memory_order_acquire) != MySense) {
+      if (++Spins > 64) {
+        osYield();
+        Spins = 0;
+      } else {
+        cpuRelax();
+      }
+    }
+  }
+
+private:
+  const uint32_t Count;
+  std::atomic<uint32_t> Remaining;
+  std::atomic<bool> Sense{false};
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_BARRIER_H

@@ -1,0 +1,39 @@
+//===- support/CacheLine.h - Cache-line utilities ---------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line size constant and a padding wrapper used to keep per-thread
+/// counters and lock words from false sharing. The paper's motivation is
+/// cache coherence traffic caused by lock-variable writes; the measurement
+/// infrastructure must not add accidental sharing of its own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_CACHELINE_H
+#define SOLERO_SUPPORT_CACHELINE_H
+
+#include <cstddef>
+#include <new>
+
+namespace solero {
+
+/// Size in bytes of the destructive-interference granule. 64 bytes on every
+/// mainstream x86-64 and POWER implementation.
+inline constexpr std::size_t CacheLineSize = 64;
+
+/// Wraps \p T so that each instance occupies its own cache line.
+template <typename T> struct alignas(CacheLineSize) CacheLinePadded {
+  T Value{};
+
+  T &operator*() { return Value; }
+  const T &operator*() const { return Value; }
+  T *operator->() { return &Value; }
+  const T *operator->() const { return &Value; }
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_CACHELINE_H

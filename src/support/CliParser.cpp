@@ -1,0 +1,82 @@
+//===- support/CliParser.cpp - Tiny command-line parser -------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CliParser.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace solero;
+
+CliParser::CliParser(int Argc, char **Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--", 2) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg + 2;
+    auto Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Flags[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+      continue;
+    }
+    // Bare `--switch`. Values must use the unambiguous `--flag=value` form.
+    Flags[Body] = "";
+  }
+}
+
+bool CliParser::has(const std::string &Name) const {
+  return Flags.count(Name) != 0;
+}
+
+std::string CliParser::getString(const std::string &Name,
+                                 const std::string &Default) const {
+  auto It = Flags.find(Name);
+  return It == Flags.end() ? Default : It->second;
+}
+
+int64_t CliParser::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 10);
+}
+
+double CliParser::getDouble(const std::string &Name, double Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}
+
+bool CliParser::getBool(const std::string &Name, bool Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end())
+    return Default;
+  if (It->second.empty() || It->second == "1" || It->second == "true" ||
+      It->second == "yes")
+    return true;
+  return false;
+}
+
+std::vector<int> CliParser::getIntList(const std::string &Name,
+                                       std::vector<int> Default) const {
+  auto It = Flags.find(Name);
+  if (It == Flags.end() || It->second.empty())
+    return Default;
+  std::vector<int> Result;
+  const std::string &S = It->second;
+  std::size_t Pos = 0;
+  while (Pos < S.size()) {
+    std::size_t Comma = S.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    Result.push_back(std::atoi(S.substr(Pos, Comma - Pos).c_str()));
+    Pos = Comma + 1;
+  }
+  return Result;
+}

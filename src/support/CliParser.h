@@ -1,0 +1,54 @@
+//===- support/CliParser.h - Tiny command-line parser -----------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal `--flag=value` / `--switch` parser shared by the bench and
+/// example binaries. Values require the `=` form; a bare `--switch` is a
+/// boolean true.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_CLIPARSER_H
+#define SOLERO_SUPPORT_CLIPARSER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace solero {
+
+/// Parses `argv` into a flag map. Unknown flags are kept; callers query the
+/// flags they understand and may call reportUnknown() for strictness.
+class CliParser {
+public:
+  CliParser(int Argc, char **Argv);
+
+  /// True if `--Name` appeared (with or without a value).
+  bool has(const std::string &Name) const;
+
+  /// Value of `--Name`, or \p Default when absent.
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const;
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+  double getDouble(const std::string &Name, double Default) const;
+  bool getBool(const std::string &Name, bool Default) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Comma-separated integer list flag, e.g. `--threads=1,2,4,8,16`.
+  std::vector<int> getIntList(const std::string &Name,
+                              std::vector<int> Default) const;
+
+private:
+  std::map<std::string, std::string> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_CLIPARSER_H

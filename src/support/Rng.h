@@ -1,0 +1,85 @@
+//===- support/Rng.h - Deterministic random number generators ---*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small, fast, seedable generators used by workloads and property tests.
+/// Determinism matters: every randomized test and benchmark in this
+/// repository is reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_RNG_H
+#define SOLERO_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace solero {
+
+/// SplitMix64 (Steele, Lea, Vigna). Used directly for cheap streams and to
+/// seed Xoshiro256StarStar.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256** 1.0 (Blackman, Vigna). The workload generators' main PRNG.
+class Xoshiro256StarStar {
+public:
+  /// Default: seed 0 (reseed before use for distinct streams).
+  Xoshiro256StarStar() : Xoshiro256StarStar(0) {}
+
+  explicit Xoshiro256StarStar(uint64_t Seed) {
+    SplitMix64 Sm(Seed);
+    for (uint64_t &Word : S)
+      Word = Sm.next();
+  }
+
+  uint64_t next() {
+    const uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    const uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). Uses the fixed-point multiply trick; the
+  /// modulo bias is negligible for the bounds used here (< 2^32).
+  uint64_t nextBounded(uint64_t Bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool nextPercent(unsigned Percent) { return nextBounded(100) < Percent; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_RNG_H

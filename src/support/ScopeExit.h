@@ -1,0 +1,43 @@
+//===- support/ScopeExit.h - RAII scope guard -------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal scope guard. Lock release on every exit path (including guest
+/// exceptions) mirrors the JIT-generated catch blocks that "force a lock to
+/// be released before leaving the synchronized block" (paper Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_SCOPEEXIT_H
+#define SOLERO_SUPPORT_SCOPEEXIT_H
+
+#include <utility>
+
+namespace solero {
+
+/// Runs the stored callable when the scope ends, unless release()d.
+template <typename Fn> class ScopeExit {
+public:
+  explicit ScopeExit(Fn F) : F(std::move(F)) {}
+  ~ScopeExit() {
+    if (Armed)
+      F();
+  }
+
+  ScopeExit(const ScopeExit &) = delete;
+  ScopeExit &operator=(const ScopeExit &) = delete;
+
+  /// Disarms the guard; the callable will not run.
+  void release() { Armed = false; }
+
+private:
+  Fn F;
+  bool Armed = true;
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_SCOPEEXIT_H

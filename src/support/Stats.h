@@ -1,0 +1,74 @@
+//===- support/Stats.h - Summary statistics ---------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Running summary statistics (Welford) and percentile helpers. The paper
+/// reports per-benchmark averages over five runs; the harness reports mean,
+/// stddev, and best-of-N the same way (Section 4.1 of the paper uses the
+/// best score of five in-run measurements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_STATS_H
+#define SOLERO_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/Assert.h"
+
+namespace solero {
+
+/// Welford-style running mean / variance / extrema accumulator.
+class RunningStats {
+public:
+  void add(double X) {
+    ++N;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (X - Mean);
+    Min = N == 1 ? X : std::min(Min, X);
+    Max = N == 1 ? X : std::max(Max, X);
+  }
+
+  std::size_t count() const { return N; }
+  double mean() const { return Mean; }
+  double min() const { return Min; }
+  double max() const { return Max; }
+
+  double variance() const {
+    return N > 1 ? M2 / static_cast<double>(N - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+private:
+  std::size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Returns the \p Q quantile (0..1) of \p Samples using linear interpolation.
+/// The input vector is copied; callers keep their sample order.
+inline double quantile(std::vector<double> Samples, double Q) {
+  SOLERO_CHECK(!Samples.empty(), "quantile of empty sample set");
+  SOLERO_CHECK(Q >= 0.0 && Q <= 1.0, "quantile out of range");
+  std::sort(Samples.begin(), Samples.end());
+  if (Samples.size() == 1)
+    return Samples.front();
+  double Pos = Q * static_cast<double>(Samples.size() - 1);
+  std::size_t Lo = static_cast<std::size_t>(Pos);
+  std::size_t Hi = std::min(Lo + 1, Samples.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Samples[Lo] + (Samples[Hi] - Samples[Lo]) * Frac;
+}
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_STATS_H

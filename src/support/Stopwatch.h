@@ -1,0 +1,46 @@
+//===- support/Stopwatch.h - Wall-clock timing ------------------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic stopwatch used by the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_STOPWATCH_H
+#define SOLERO_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace solero {
+
+/// A steady-clock stopwatch with nanosecond reads.
+class Stopwatch {
+public:
+  Stopwatch() : Start(Clock::now()) {}
+
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset().
+  uint64_t elapsedNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNs()) * 1e-9;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_STOPWATCH_H

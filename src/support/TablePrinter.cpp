@@ -1,0 +1,58 @@
+//===- support/TablePrinter.cpp - Console table formatting ----------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace solero;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Cells.resize(Header.size());
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::vector<std::size_t> Widths(Header.size());
+  for (std::size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (std::size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Cells.size(); ++I)
+      std::fprintf(Out, "%s%-*s", I == 0 ? "" : "  ",
+                   static_cast<int>(Widths[I]), Cells[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Header);
+  std::size_t Total = 0;
+  for (std::size_t W : Widths)
+    Total += W;
+  Total += 2 * (Header.empty() ? 0 : Header.size() - 1);
+  std::string Rule(Total, '-');
+  std::fprintf(Out, "%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string TablePrinter::num(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string TablePrinter::percent(double Fraction, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f%%", Decimals, Fraction * 100.0);
+  return Buf;
+}

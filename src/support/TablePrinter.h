@@ -1,0 +1,47 @@
+//===- support/TablePrinter.h - Console table formatting --------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width console tables. Every bench binary regenerates one of the
+/// paper's tables or figure data series; this printer gives them a uniform,
+/// diffable text form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_TABLEPRINTER_H
+#define SOLERO_SUPPORT_TABLEPRINTER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace solero {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends a data row. Shorter rows are padded with empty cells.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Prints the whole table to \p Out (header, rule, rows).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Formats a double with \p Decimals fraction digits.
+  static std::string num(double Value, int Decimals = 2);
+
+  /// Formats a ratio as a percentage string ("12.3%").
+  static std::string percent(double Fraction, int Decimals = 1);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_TABLEPRINTER_H

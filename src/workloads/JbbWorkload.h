@@ -1,0 +1,217 @@
+//===- workloads/JbbWorkload.h - SPECjbb2005-like workload ------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SPECjbb2005-style order-processing workload (the paper's macro
+/// benchmark). Like SPECjbb2005 it is share-nothing per warehouse (one
+/// warehouse per thread — "highly scalable with minimal lock contention",
+/// Section 4.2) and runs the TPC-C-flavoured five-transaction mix. Every
+/// table access goes through a synchronized block on the owning
+/// warehouse's tables, so the observable that matters for SOLERO — the
+/// mix of read-only vs writing critical sections — matches Table 1's
+/// SPECjbb2005 row (53.6% read-only) by construction of the per-
+/// transaction access counts (see DESIGN.md substitution table).
+///
+/// Throughput is reported in transactions per second ("bops").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_WORKLOADS_JBBWORKLOAD_H
+#define SOLERO_WORKLOADS_JBBWORKLOAD_H
+
+#include <memory>
+#include <vector>
+
+#include "collections/JavaHashMap.h"
+#include "collections/JavaTreeMap.h"
+#include "runtime/ReadGuard.h"
+#include "runtime/RuntimeContext.h"
+#include "runtime/SharedField.h"
+#include "support/CacheLine.h"
+#include "support/Rng.h"
+
+namespace solero {
+
+/// Transaction mix percentages (SPECjbb2005 / TPC-C shape).
+struct JbbMix {
+  unsigned NewOrder = 44;   ///< items lookups + stock/order writes
+  unsigned Payment = 43;    ///< balance write + customer lookups
+  unsigned OrderStatus = 5; ///< read-only
+  unsigned Delivery = 4;    ///< oldest-order removal
+  unsigned StockLevel = 4;  ///< read-only stock scan
+};
+
+struct JbbParams {
+  int Warehouses = 1;       ///< one per driver thread
+  int64_t ItemCount = 2048; ///< items per warehouse catalogue
+  int MaxThreads = 64;
+  uint64_t Seed = 0x1bb;
+  JbbMix Mix;
+};
+
+/// One warehouse: item catalogue, stock levels, order book, customer
+/// balances — each map wrapped in critical sections of \p Policy on the
+/// warehouse's locks (one lock per table, as a JVM would lock each
+/// collection object).
+template <typename Policy> class JbbWarehouse {
+public:
+  JbbWarehouse(RuntimeContext &Ctx, int64_t ItemCount, uint64_t Seed)
+      : ItemsLock(Ctx), StockLock(Ctx), OrdersLock(Ctx), CustomersLock(Ctx),
+        ItemCount(ItemCount) {
+    SplitMix64 Sm(Seed);
+    for (int64_t I = 0; I < ItemCount; ++I) {
+      Items.put(I, static_cast<int64_t>(Sm.next() >> 8)); // price-ish
+      Stock.put(I, 100);
+    }
+    for (int64_t C = 0; C < 256; ++C)
+      Customers.put(C, 1000);
+  }
+
+  /// NewOrder: look up items read-only, then decrement stock and record
+  /// the order.
+  void newOrder(Xoshiro256StarStar &Rng) {
+    constexpr int Lines = 5;
+    int64_t ItemIds[Lines];
+    int64_t Total = 0;
+    for (int L = 0; L < Lines; ++L) {
+      ItemIds[L] = pickItem(Rng);
+      Total += ItemsLock.read([&](ReadGuard &) {
+        auto P = Items.get(ItemIds[L]);
+        return P ? *P % 1000 : 0;
+      });
+    }
+    for (int L = 0; L < Lines; ++L)
+      StockLock.write([&] {
+        auto S = Stock.get(ItemIds[L]);
+        int64_t Level = S ? *S : 100;
+        Stock.put(ItemIds[L], Level <= 10 ? Level + 91 : Level - 1);
+      });
+    OrdersLock.write([&] {
+      int64_t Id = NextOrderId.read();
+      Orders.put(Id, Total);
+      NextOrderId.write(Id + 1);
+      // SPECjbb truncates its order table; keep the book bounded so
+      // steady-state throughput does not depend on run length.
+      if (Orders.size() > 2048) {
+        auto Oldest = Orders.firstKey();
+        if (Oldest)
+          Orders.remove(*Oldest);
+      }
+    });
+  }
+
+  /// Payment: two read-only customer lookups, one balance write.
+  void payment(Xoshiro256StarStar &Rng) {
+    int64_t C = static_cast<int64_t>(Rng.nextBounded(256));
+    int64_t Amount = static_cast<int64_t>(Rng.nextBounded(500)) + 1;
+    int64_t Bal = CustomersLock.read([&](ReadGuard &) {
+      auto B = Customers.get(C);
+      return B ? *B : 0;
+    });
+    (void)CustomersLock.read(
+        [&](ReadGuard &) { return Customers.contains(C); });
+    CustomersLock.write([&] { Customers.put(C, Bal + Amount); });
+  }
+
+  /// OrderStatus: read-only order book queries.
+  int64_t orderStatus(Xoshiro256StarStar &Rng) {
+    int64_t Sum = 0;
+    for (int I = 0; I < 3; ++I) {
+      int64_t Next = NextOrderId.read();
+      int64_t Id = Next > 1 ? static_cast<int64_t>(Rng.nextBounded(
+                                  static_cast<uint64_t>(Next)))
+                            : 0;
+      Sum += OrdersLock.read([&](ReadGuard &) {
+        auto O = Orders.get(Id);
+        return O ? *O : 0;
+      });
+    }
+    return Sum;
+  }
+
+  /// Delivery: find and remove the oldest order.
+  void delivery() {
+    auto Oldest = OrdersLock.read([&](ReadGuard &) { return Orders.firstKey(); });
+    if (Oldest)
+      OrdersLock.write([&] { Orders.remove(*Oldest); });
+  }
+
+  /// StockLevel: read-only scan of recent items' stock.
+  int64_t stockLevel(Xoshiro256StarStar &Rng) {
+    int64_t Low = 0;
+    for (int I = 0; I < 10; ++I) {
+      int64_t Id = pickItem(Rng);
+      Low += StockLock.read([&](ReadGuard &) {
+        auto S = Stock.get(Id);
+        return (S && *S < 20) ? 1 : 0;
+      });
+    }
+    return Low;
+  }
+
+private:
+  int64_t pickItem(Xoshiro256StarStar &Rng) {
+    return static_cast<int64_t>(
+        Rng.nextBounded(static_cast<uint64_t>(ItemCount)));
+  }
+
+  Policy ItemsLock, StockLock, OrdersLock, CustomersLock;
+  JavaHashMap<int64_t, int64_t> Items;
+  JavaHashMap<int64_t, int64_t> Stock;
+  JavaTreeMap<int64_t, int64_t> Orders;
+  JavaHashMap<int64_t, int64_t> Customers;
+  const int64_t ItemCount;
+  SharedField<int64_t> NextOrderId{1};
+};
+
+/// The driver: warehouse W is owned by thread W (mod Warehouses).
+template <typename Policy> class JbbWorkload {
+public:
+  JbbWorkload(RuntimeContext &Ctx, const JbbParams &P) : Params(P) {
+    for (int W = 0; W < P.Warehouses; ++W)
+      Warehouses.push_back(std::make_unique<JbbWarehouse<Policy>>(
+          Ctx, P.ItemCount, P.Seed + static_cast<uint64_t>(W)));
+    PerThread.resize(static_cast<std::size_t>(P.MaxThreads));
+    for (int T = 0; T < P.MaxThreads; ++T)
+      PerThread[static_cast<std::size_t>(T)]->Rng =
+          Xoshiro256StarStar(P.Seed ^ (0x9e37 + static_cast<uint64_t>(T)));
+  }
+
+  /// One transaction for \p ThreadIdx, drawn from the mix.
+  void operator()(int ThreadIdx) {
+    auto &State = *PerThread[static_cast<std::size_t>(ThreadIdx)];
+    Xoshiro256StarStar &Rng = State.Rng;
+    JbbWarehouse<Policy> &W =
+        *Warehouses[static_cast<std::size_t>(ThreadIdx) %
+                    Warehouses.size()];
+    const JbbMix &M = Params.Mix;
+    uint64_t Dice = Rng.nextBounded(100);
+    if (Dice < M.NewOrder)
+      W.newOrder(Rng);
+    else if (Dice < M.NewOrder + M.Payment)
+      W.payment(Rng);
+    else if (Dice < M.NewOrder + M.Payment + M.OrderStatus)
+      State.Sink += W.orderStatus(Rng);
+    else if (Dice < M.NewOrder + M.Payment + M.OrderStatus + M.Delivery)
+      W.delivery();
+    else
+      State.Sink += W.stockLevel(Rng);
+  }
+
+private:
+  struct ThreadLocalState {
+    Xoshiro256StarStar Rng{0};
+    int64_t Sink = 0;
+  };
+
+  JbbParams Params;
+  std::vector<std::unique_ptr<JbbWarehouse<Policy>>> Warehouses;
+  std::vector<CacheLinePadded<ThreadLocalState>> PerThread;
+};
+
+} // namespace solero
+
+#endif // SOLERO_WORKLOADS_JBBWORKLOAD_H

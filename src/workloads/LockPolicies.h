@@ -1,0 +1,114 @@
+//===- workloads/LockPolicies.h - Uniform lock policy adapters --*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three lock implementations the paper compares (Section 4.1) behind
+/// one policy shape, so workloads and SynchronizedMap can be templated
+/// over them:
+///
+///   Lock    — TasukiPolicy:  the conventional mutual-exclusion lock
+///   RWLock  — RwPolicy:      java.util.concurrent-style read-write lock
+///   SOLERO  — SoleroPolicy:  lock elision for read-only sections
+///
+/// plus SoleroPolicy variants for the Figure 10 ablations (Unelided,
+/// WeakBarrier). A policy instance is one lock: construct one per
+/// protected object.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_WORKLOADS_LOCKPOLICIES_H
+#define SOLERO_WORKLOADS_LOCKPOLICIES_H
+
+#include <memory>
+
+#include "core/SoleroLock.h"
+#include "locks/ReadWriteLock.h"
+#include "locks/TasukiLock.h"
+#include "runtime/RuntimeContext.h"
+
+namespace solero {
+
+/// Conventional lock (paper's "Lock"): mutual exclusion for readers too.
+class TasukiPolicy {
+public:
+  explicit TasukiPolicy(RuntimeContext &Ctx) : Protocol(Ctx) {}
+
+  template <typename Fn> decltype(auto) read(Fn &&F) {
+    return Protocol.synchronizedReadOnly(Header, std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) write(Fn &&F) {
+    return Protocol.synchronizedWrite(Header, std::forward<Fn>(F));
+  }
+
+  static const char *name() { return "Lock"; }
+
+private:
+  TasukiLock Protocol;
+  ObjectHeader Header;
+};
+
+/// Read-write lock (paper's "RWLock"). Held behind a pointer to model the
+/// java.util.concurrent indirection the paper cites.
+class RwPolicy {
+public:
+  explicit RwPolicy(RuntimeContext &Ctx)
+      : Lock(std::make_unique<ReadWriteLock>(Ctx)) {}
+
+  template <typename Fn> decltype(auto) read(Fn &&F) {
+    return Lock->synchronizedReadOnly(std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) write(Fn &&F) {
+    return Lock->synchronizedWrite(std::forward<Fn>(F));
+  }
+
+  static const char *name() { return "RWLock"; }
+
+private:
+  std::unique_ptr<ReadWriteLock> Lock;
+};
+
+/// SOLERO with configurable elision / barriers.
+class SoleroPolicy {
+public:
+  explicit SoleroPolicy(RuntimeContext &Ctx,
+                        SoleroConfig Config = SoleroConfig())
+      : Protocol(Ctx, Config) {}
+
+  template <typename Fn> decltype(auto) read(Fn &&F) {
+    return Protocol.synchronizedReadOnly(Header, std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) write(Fn &&F) {
+    return Protocol.synchronizedWrite(Header, std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) readMostly(Fn &&F) {
+    return Protocol.synchronizedReadMostly(Header, std::forward<Fn>(F));
+  }
+
+  static const char *name() { return "SOLERO"; }
+
+  SoleroLock &protocol() { return Protocol; }
+
+private:
+  SoleroLock Protocol;
+  ObjectHeader Header;
+};
+
+/// Figure 10 ablation configs.
+inline SoleroConfig unelidedSoleroConfig() {
+  SoleroConfig C;
+  C.ElideReadOnly = false;
+  return C;
+}
+
+inline SoleroConfig weakBarrierSoleroConfig() {
+  SoleroConfig C;
+  C.Barriers = BarrierMode::Weak;
+  return C;
+}
+
+} // namespace solero
+
+#endif // SOLERO_WORKLOADS_LOCKPOLICIES_H

@@ -1,0 +1,322 @@
+//===- tests/ClassifierTest.cpp - Section 3.2 analysis tests --------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/ReadOnlyClassifier.h"
+
+#include "jit/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace solero;
+using namespace solero::jit;
+
+namespace {
+
+Module moduleOf(Method M, uint32_t NumStatics = 4) {
+  Module Mod;
+  Mod.NumStatics = NumStatics;
+  Mod.addMethod(std::move(M));
+  return Mod;
+}
+
+RegionKind soleKind(const Module &M) {
+  ClassifiedModule C = classifyModule(M);
+  const auto &Regions = C.regions(0);
+  EXPECT_EQ(Regions.size(), 1u);
+  return Regions[0].Kind;
+}
+
+} // namespace
+
+TEST(Classifier, EmptyBlockIsReadOnly) {
+  MethodBuilder B("empty", 1, 1);
+  B.load(0).syncEnter().syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, FieldReadIsReadOnly) {
+  MethodBuilder B("get", 1, 1);
+  B.load(0).syncEnter();
+  B.load(0).getField(0).pop();
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, FieldWriteIsWriting) {
+  MethodBuilder B("set", 1, 1);
+  B.load(0).syncEnter();
+  B.load(0).constant(9).putField(0);
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::Writing);
+}
+
+TEST(Classifier, StaticWriteIsWriting) {
+  MethodBuilder B("setS", 1, 1);
+  B.load(0).syncEnter();
+  B.constant(9).putStatic(0);
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::Writing);
+}
+
+TEST(Classifier, SideEffectsAreWriting) {
+  MethodBuilder B("nat", 1, 1);
+  B.load(0).syncEnter();
+  B.constant(1).nativeCall().pop();
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::Writing);
+}
+
+TEST(Classifier, StoreToDeadLocalIsAllowed) {
+  // The scratch local is written before being read inside the region and
+  // never read after it: dead at region entry, so elidable (Section 3.2).
+  MethodBuilder B("scratch", 1, 2);
+  B.load(0).syncEnter();
+  B.constant(5).store(1);
+  B.load(1).pop();
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, StoreToLiveLocalIsWriting) {
+  // Local 1 is read inside the region before being overwritten: it is live
+  // at region entry, and re-execution would observe the clobbered value.
+  MethodBuilder B("live", 1, 2);
+  B.constant(1).store(1);
+  B.load(0).syncEnter();
+  B.load(1).constant(5).add().store(1);
+  B.syncExit();
+  B.load(1).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::Writing);
+}
+
+TEST(Classifier, RegionRedefiningLocalBeforeUseIsReadOnly) {
+  // The region stores local 1 but kills it before any use: dead at entry,
+  // so re-execution simply recomputes it — elidable. (This is how results
+  // flow out of read-only synchronized blocks.)
+  MethodBuilder B("redef", 1, 2);
+  B.constant(1).store(1);
+  B.load(0).syncEnter();
+  B.load(0).getField(0).store(1);
+  B.syncExit();
+  B.load(1).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, StoreToLocalDeadAfterRegionIsAllowed) {
+  // Local 1 is initialized before the region but never read again after
+  // the store: not live at entry (the in-region store kills it before any
+  // use). Liveness, not mere mention, decides.
+  MethodBuilder B("deadAfter", 1, 2);
+  B.constant(1).store(1);
+  B.load(0).syncEnter();
+  B.constant(5).store(1);
+  B.load(1).pop();
+  B.syncExit();
+  B.constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, ThrowIsAllowedInReadOnly) {
+  // "Throwing runtime exceptions ... is allowed in read-only synchronized
+  // blocks" (Section 3.2).
+  MethodBuilder B("thrower", 1, 1);
+  auto NoThrow = B.newLabel();
+  B.load(0).syncEnter();
+  B.load(0).getField(0).jumpIfZero(NoThrow);
+  B.constant(100).throwError();
+  B.bind(NoThrow);
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, AllocationIsAllowedInReadOnly) {
+  // "we do not explicitly forbid read-only synchronized blocks from
+  // creating new objects" (Section 3.2).
+  MethodBuilder B("alloc", 1, 1);
+  B.load(0).syncEnter();
+  B.newObject().pop();
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, PureInvokeIsAllowed) {
+  Module M;
+  M.NumStatics = 0;
+  {
+    MethodBuilder Callee("pureHelper", 1, 1);
+    Callee.load(0).constant(2).mul().ret();
+    M.addMethod(Callee.take());
+  }
+  {
+    MethodBuilder Caller("caller", 1, 1);
+    Caller.load(0).syncEnter();
+    Caller.constant(21).invoke(0).pop();
+    Caller.syncExit().constant(0).ret();
+    M.addMethod(Caller.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_TRUE(C.methodIsPure(0));
+  EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::ReadOnly);
+}
+
+TEST(Classifier, ImpureInvokeBlocksElision) {
+  Module M;
+  M.NumStatics = 1;
+  {
+    MethodBuilder Callee("impureHelper", 0, 0);
+    Callee.constant(1).putStatic(0).constant(0).ret();
+    M.addMethod(Callee.take());
+  }
+  {
+    MethodBuilder Caller("caller", 1, 1);
+    Caller.load(0).syncEnter();
+    Caller.invoke(0).pop();
+    Caller.syncExit().constant(0).ret();
+    M.addMethod(Caller.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_FALSE(C.methodIsPure(0));
+  EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::Writing);
+  EXPECT_NE(C.regions(1)[0].Reason.find("impureHelper"), std::string::npos);
+}
+
+TEST(Classifier, TransitivePurityThroughCallChain) {
+  Module M;
+  M.NumStatics = 1;
+  {
+    MethodBuilder Leaf("leafWrites", 0, 0);
+    Leaf.constant(1).putStatic(0).constant(0).ret();
+    M.addMethod(Leaf.take());
+  }
+  {
+    MethodBuilder Mid("midCallsLeaf", 0, 0);
+    Mid.invoke(0).ret();
+    M.addMethod(Mid.take());
+  }
+  {
+    MethodBuilder Top("top", 1, 1);
+    Top.load(0).syncEnter();
+    Top.invoke(1).pop();
+    Top.syncExit().constant(0).ret();
+    M.addMethod(Top.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_FALSE(C.methodIsPure(1)); // impurity propagates up
+  EXPECT_EQ(C.regions(2)[0].Kind, RegionKind::Writing);
+}
+
+TEST(Classifier, RecursiveInvokeIsConservative) {
+  Module M;
+  M.NumStatics = 0;
+  MethodBuilder Rec("recurse", 1, 1);
+  Rec.load(0).invoke(0).ret();
+  M.addMethod(Rec.take());
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_FALSE(C.methodIsPure(0));
+}
+
+TEST(Classifier, AnnotationOverridesVirtualDispatchUncertainty) {
+  // The paper's @SoleroReadOnly use case: the block invokes something the
+  // analysis cannot prove pure, but the developer asserts read-onlyness.
+  Module M;
+  M.NumStatics = 1;
+  {
+    MethodBuilder Callee("possiblyImpure", 0, 0);
+    Callee.constant(1).putStatic(0).constant(0).ret();
+    M.addMethod(Callee.take());
+  }
+  {
+    MethodBuilder Caller("annotated", 1, 1);
+    Caller.annotateReadOnly();
+    Caller.load(0).syncEnter();
+    Caller.invoke(0).pop();
+    Caller.syncExit().constant(0).ret();
+    M.addMethod(Caller.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::ReadOnly);
+  EXPECT_NE(C.regions(1)[0].Reason.find("@SoleroReadOnly"),
+            std::string::npos);
+}
+
+TEST(Classifier, NestedSynchronizedBlocksOuterElision) {
+  Module M;
+  M.NumStatics = 0;
+  MethodBuilder B("nested", 2, 2);
+  B.load(0).syncEnter();
+  B.load(1).syncEnter();
+  B.load(1).getField(0).pop();
+  B.syncExit();
+  B.syncExit().constant(0).ret();
+  M.addMethod(B.take());
+  ClassifiedModule C = classifyModule(M);
+  ASSERT_EQ(C.regions(0).size(), 2u);
+  // Outer (EnterPc smaller) is blocked by the nested monitor operation;
+  // the inner region itself is read-only.
+  EXPECT_EQ(C.regions(0)[0].Kind, RegionKind::Writing);
+  EXPECT_EQ(C.regions(0)[1].Kind, RegionKind::ReadOnly);
+}
+
+TEST(Classifier, ProfileGuidedReadMostly) {
+  // A region with a rarely-executed write becomes read-mostly under a
+  // profile (Section 5).
+  MethodBuilder B("mostly", 2, 2);
+  auto Skip = B.newLabel();
+  B.load(0).syncEnter();          // pc 0, 1
+  B.load(1).jumpIfZero(Skip);     // pc 2, 3
+  B.load(0).constant(1).putField(0); // pc 4, 5, 6 — the rare write
+  B.bind(Skip);
+  B.load(0).getField(0).pop();    // pc 7, 8, 9
+  B.syncExit();                   // pc 10
+  B.constant(0).ret();
+  Module M = moduleOf(B.take());
+
+  // Without a profile: Writing.
+  EXPECT_EQ(classifyModule(M).regions(0)[0].Kind, RegionKind::Writing);
+
+  // Synthetic profile: 1000 entries, 5 writes.
+  Profile P;
+  P.Counts.resize(1);
+  P.Counts[0].assign(M.method(0).Code.size(), 0);
+  P.Counts[0][1] = 1000; // SyncEnter
+  P.Counts[0][6] = 5;    // PutField
+  EXPECT_EQ(classifyModule(M, &P).regions(0)[0].Kind,
+            RegionKind::ReadMostly);
+
+  // Hot writes: stays Writing.
+  P.Counts[0][6] = 500;
+  EXPECT_EQ(classifyModule(M, &P).regions(0)[0].Kind, RegionKind::Writing);
+}
+
+TEST(Classifier, ProfileDoesNotOverrideLiveLocalStore) {
+  // Local 1 is read inside the region BEFORE being overwritten, so it is
+  // live at region entry; re-execution would observe the clobbered value.
+  // No profile may soften this into read-mostly.
+  MethodBuilder B("liveStore", 1, 2);
+  B.constant(1).store(1);
+  B.load(0).syncEnter();           // pc 2, 3
+  B.load(1).constant(5).add().store(1); // pc 4..7 — reads then clobbers
+  B.syncExit();
+  B.load(1).ret();
+  Module M = moduleOf(B.take());
+  EXPECT_EQ(classifyModule(M).regions(0)[0].Kind, RegionKind::Writing);
+  Profile P;
+  P.Counts.resize(1);
+  P.Counts[0].assign(M.method(0).Code.size(), 0);
+  P.Counts[0][3] = 1000;
+  EXPECT_EQ(classifyModule(M, &P).regions(0)[0].Kind, RegionKind::Writing);
+}
+
+TEST(Liveness, ComputesLiveInSets) {
+  // local0 = param (live through); local1 = defined at pc2.
+  MethodBuilder B("f", 1, 2);
+  B.constant(5).store(1); // pc 0,1
+  B.load(0).load(1).add().ret(); // pc 2..5
+  Module M = moduleOf(B.take());
+  std::vector<uint64_t> Live = computeLiveIn(M, 0);
+  EXPECT_EQ(Live[0], 0b01u);    // only local0 live at entry
+  EXPECT_EQ(Live[2], 0b11u);    // both live before the loads
+}

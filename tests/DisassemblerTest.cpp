@@ -1,0 +1,64 @@
+//===- tests/DisassemblerTest.cpp - CSIR printing tests -------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Disassembler.h"
+
+#include "jit/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace solero;
+using namespace solero::jit;
+
+TEST(Disassembler, PrintsOpcodesAndOperands) {
+  MethodBuilder B("sample", 1, 2);
+  B.load(0).getField(3).store(1);
+  B.load(1).constant(10).add().ret();
+  Module M;
+  M.addMethod(B.take());
+  std::string S = disassemble(M, 0);
+  EXPECT_NE(S.find("method sample(params=1, locals=2)"), std::string::npos);
+  EXPECT_NE(S.find("load 0"), std::string::npos);
+  EXPECT_NE(S.find("getfield 3"), std::string::npos);
+  EXPECT_NE(S.find("const 10"), std::string::npos);
+  EXPECT_NE(S.find("return"), std::string::npos);
+}
+
+TEST(Disassembler, PrintsInvokeTargetsByName) {
+  Module M;
+  MethodBuilder Callee("helper", 0, 0);
+  Callee.constant(0).ret();
+  M.addMethod(Callee.take());
+  MethodBuilder Caller("main", 0, 0);
+  Caller.invoke(0).ret();
+  M.addMethod(Caller.take());
+  std::string S = disassemble(M, 1);
+  EXPECT_NE(S.find("invoke helper"), std::string::npos);
+}
+
+TEST(Disassembler, AnnotatesRegionClassifications) {
+  MethodBuilder B("get", 1, 2);
+  B.load(0).syncEnter();
+  B.load(0).getField(0).store(1);
+  B.syncExit();
+  B.load(1).ret();
+  Module M;
+  M.addMethod(B.take());
+  ClassifiedModule C = classifyModule(M);
+  std::string S = disassemble(M, 0, &C);
+  EXPECT_NE(S.find("read-only"), std::string::npos);
+  EXPECT_NE(S.find("no writes or side effects"), std::string::npos);
+}
+
+TEST(Disassembler, MarksAnnotatedMethods) {
+  MethodBuilder B("tagged", 1, 1);
+  B.annotateReadOnly();
+  B.load(0).syncEnter().syncExit().constant(0).ret();
+  Module M;
+  M.addMethod(B.take());
+  std::string S = disassembleModule(M);
+  EXPECT_NE(S.find("@SoleroReadOnly"), std::string::npos);
+}

@@ -1,0 +1,112 @@
+//===- tests/JavaHashMapTest.cpp - Hash map tests -------------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/JavaHashMap.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+using namespace solero;
+
+TEST(JavaHashMap, PutGetRemoveBasics) {
+  JavaHashMap<int64_t, int64_t> M;
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_FALSE(M.get(1).has_value());
+  EXPECT_TRUE(M.put(1, 100));
+  EXPECT_FALSE(M.put(1, 200)); // update, not insert
+  EXPECT_EQ(M.get(1).value(), 200);
+  EXPECT_EQ(M.size(), 1u);
+  EXPECT_TRUE(M.remove(1));
+  EXPECT_FALSE(M.remove(1));
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_FALSE(M.contains(1));
+}
+
+TEST(JavaHashMap, ManyKeysAcrossResizes) {
+  JavaHashMap<int64_t, int64_t> M(16);
+  const int N = 5000;
+  for (int64_t I = 0; I < N; ++I)
+    EXPECT_TRUE(M.put(I, I * 3));
+  EXPECT_EQ(M.size(), static_cast<std::size_t>(N));
+  EXPECT_GT(M.capacity(), 16u); // resized
+  for (int64_t I = 0; I < N; ++I) {
+    auto V = M.get(I);
+    ASSERT_TRUE(V.has_value()) << "missing key " << I;
+    EXPECT_EQ(*V, I * 3);
+  }
+  EXPECT_FALSE(M.get(N + 1).has_value());
+}
+
+TEST(JavaHashMap, CollidingKeysChainCorrectly) {
+  // Small fixed capacity forces long chains.
+  JavaHashMap<int64_t, int64_t> M(16);
+  for (int64_t I = 0; I < 64; ++I)
+    M.put(I, I);
+  // Remove from the middle of chains.
+  for (int64_t I = 0; I < 64; I += 2)
+    EXPECT_TRUE(M.remove(I));
+  for (int64_t I = 0; I < 64; ++I)
+    EXPECT_EQ(M.contains(I), I % 2 == 1);
+  EXPECT_EQ(M.size(), 32u);
+}
+
+TEST(JavaHashMap, ForEachVisitsEverything) {
+  JavaHashMap<int64_t, int64_t> M;
+  for (int64_t I = 0; I < 100; ++I)
+    M.put(I, I + 1000);
+  int64_t Sum = 0, Visits = 0;
+  M.forEach([&](int64_t K, int64_t V) {
+    Sum += V - K;
+    ++Visits;
+  });
+  EXPECT_EQ(Visits, 100);
+  EXPECT_EQ(Sum, 100 * 1000);
+}
+
+TEST(JavaHashMap, RandomizedAgainstReferenceModel) {
+  JavaHashMap<int64_t, int64_t> M;
+  std::unordered_map<int64_t, int64_t> Ref;
+  Xoshiro256StarStar Rng(2024);
+  for (int Op = 0; Op < 50000; ++Op) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBounded(512));
+    switch (Rng.nextBounded(3)) {
+    case 0: {
+      int64_t Val = static_cast<int64_t>(Rng.next());
+      bool Inserted = M.put(Key, Val);
+      bool RefInserted = Ref.insert_or_assign(Key, Val).second;
+      ASSERT_EQ(Inserted, RefInserted);
+      break;
+    }
+    case 1: {
+      ASSERT_EQ(M.remove(Key), Ref.erase(Key) == 1);
+      break;
+    }
+    default: {
+      auto V = M.get(Key);
+      auto It = Ref.find(Key);
+      ASSERT_EQ(V.has_value(), It != Ref.end());
+      if (V.has_value()) {
+        ASSERT_EQ(*V, It->second);
+      }
+    }
+    }
+    ASSERT_EQ(M.size(), Ref.size());
+  }
+}
+
+TEST(JavaHashMap, ReusesNodesThroughPool) {
+  JavaHashMap<int64_t, int64_t> M;
+  for (int Round = 0; Round < 50; ++Round) {
+    for (int64_t I = 0; I < 100; ++I)
+      M.put(I, I);
+    for (int64_t I = 0; I < 100; ++I)
+      M.remove(I);
+  }
+  EXPECT_EQ(M.size(), 0u);
+}

@@ -1,0 +1,123 @@
+//===- tests/JavaTreeMapTest.cpp - Red-black tree tests -------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/JavaTreeMap.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+using namespace solero;
+
+TEST(JavaTreeMap, PutGetRemoveBasics) {
+  JavaTreeMap<int64_t, int64_t> M;
+  EXPECT_EQ(M.size(), 0u);
+  EXPECT_FALSE(M.firstKey().has_value());
+  EXPECT_TRUE(M.put(5, 50));
+  EXPECT_TRUE(M.put(3, 30));
+  EXPECT_TRUE(M.put(8, 80));
+  EXPECT_FALSE(M.put(5, 55)); // update
+  EXPECT_EQ(M.get(5).value(), 55);
+  EXPECT_EQ(M.firstKey().value(), 3);
+  EXPECT_TRUE(M.remove(3));
+  EXPECT_EQ(M.firstKey().value(), 5);
+  EXPECT_EQ(M.size(), 2u);
+}
+
+TEST(JavaTreeMap, InOrderTraversalIsSorted) {
+  JavaTreeMap<int64_t, int64_t> M;
+  Xoshiro256StarStar Rng(7);
+  for (int I = 0; I < 1000; ++I)
+    M.put(static_cast<int64_t>(Rng.nextBounded(10000)), I);
+  int64_t Prev = -1;
+  M.forEachInOrder([&](int64_t K, int64_t) {
+    EXPECT_GT(K, Prev);
+    Prev = K;
+  });
+}
+
+TEST(JavaTreeMap, InvariantsHoldUnderAscendingInsert) {
+  JavaTreeMap<int64_t, int64_t> M;
+  for (int64_t I = 0; I < 2000; ++I) {
+    M.put(I, I);
+    if (I % 97 == 0) {
+      ASSERT_GT(M.checkRedBlackInvariants(), 0) << "after insert " << I;
+    }
+  }
+  EXPECT_GT(M.checkRedBlackInvariants(), 0);
+}
+
+TEST(JavaTreeMap, InvariantsHoldUnderDescendingInsert) {
+  JavaTreeMap<int64_t, int64_t> M;
+  for (int64_t I = 2000; I > 0; --I)
+    M.put(I, I);
+  EXPECT_GT(M.checkRedBlackInvariants(), 0);
+  EXPECT_EQ(M.firstKey().value(), 1);
+}
+
+TEST(JavaTreeMap, InvariantsHoldUnderRandomChurn) {
+  JavaTreeMap<int64_t, int64_t> M;
+  Xoshiro256StarStar Rng(13);
+  for (int Op = 0; Op < 20000; ++Op) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBounded(300));
+    if (Rng.nextPercent(50))
+      M.put(Key, Key);
+    else
+      M.remove(Key);
+    if (Op % 500 == 0) {
+      ASSERT_GT(M.checkRedBlackInvariants(), 0) << "after op " << Op;
+    }
+  }
+  EXPECT_GT(M.checkRedBlackInvariants(), 0);
+}
+
+TEST(JavaTreeMap, RandomizedAgainstReferenceModel) {
+  JavaTreeMap<int64_t, int64_t> M;
+  std::map<int64_t, int64_t> Ref;
+  Xoshiro256StarStar Rng(4096);
+  for (int Op = 0; Op < 50000; ++Op) {
+    int64_t Key = static_cast<int64_t>(Rng.nextBounded(512));
+    switch (Rng.nextBounded(3)) {
+    case 0: {
+      int64_t Val = static_cast<int64_t>(Rng.next());
+      ASSERT_EQ(M.put(Key, Val), Ref.insert_or_assign(Key, Val).second);
+      break;
+    }
+    case 1:
+      ASSERT_EQ(M.remove(Key), Ref.erase(Key) == 1);
+      break;
+    default: {
+      auto V = M.get(Key);
+      auto It = Ref.find(Key);
+      ASSERT_EQ(V.has_value(), It != Ref.end());
+      if (V.has_value()) {
+        ASSERT_EQ(*V, It->second);
+      }
+    }
+    }
+    ASSERT_EQ(M.size(), Ref.size());
+    if (!Ref.empty() && Op % 1000 == 0) {
+      ASSERT_EQ(M.firstKey().value(), Ref.begin()->first);
+    }
+  }
+  EXPECT_GT(M.checkRedBlackInvariants(), 0);
+}
+
+TEST(JavaTreeMap, DrainToEmptyAndRefill) {
+  JavaTreeMap<int64_t, int64_t> M;
+  for (int Round = 0; Round < 10; ++Round) {
+    for (int64_t I = 0; I < 200; ++I)
+      M.put(I, I);
+    ASSERT_GT(M.checkRedBlackInvariants(), 0);
+    for (int64_t I = 0; I < 200; ++I)
+      ASSERT_TRUE(M.remove(I));
+    ASSERT_EQ(M.size(), 0u);
+    ASSERT_FALSE(M.firstKey().has_value());
+  }
+}

@@ -1,0 +1,83 @@
+//===- tests/LockWordTest.cpp - Lock word layout unit tests ---------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LockWord.h"
+
+#include <gtest/gtest.h>
+
+using namespace solero;
+using namespace solero::lockword;
+
+TEST(LockWord, PaperConstants) {
+  // The fast paths depend on the paper's exact masks.
+  EXPECT_EQ(InflationBit, 0x1u);
+  EXPECT_EQ(FlcBit, 0x2u);
+  EXPECT_EQ(SoleroLockBit, 0x4u);
+  EXPECT_EQ(SoleroRecUnit, 0x8u);
+  EXPECT_EQ(CounterUnit, 0x100u);
+  EXPECT_EQ(ConvRecUnit, 0x4u);
+}
+
+TEST(LockWord, SoleroFreeWordPredicate) {
+  EXPECT_TRUE(soleroIsFree(0));
+  EXPECT_TRUE(soleroIsFree(0x100));
+  EXPECT_TRUE(soleroIsFree(42ull << TidShift));
+  EXPECT_FALSE(soleroIsFree(InflationBit));
+  EXPECT_FALSE(soleroIsFree(FlcBit));
+  EXPECT_FALSE(soleroIsFree(SoleroLockBit));
+  EXPECT_FALSE(soleroIsFree(0x100 | SoleroLockBit));
+}
+
+TEST(LockWord, SoleroHeldWordRoundTrip) {
+  uint64_t Tid = 7ull << TidShift;
+  uint64_t Held = soleroHeldWord(Tid);
+  EXPECT_TRUE(soleroHeldBy(Held, Tid));
+  EXPECT_FALSE(soleroHeldBy(Held, 8ull << TidShift));
+  EXPECT_EQ(soleroRecursion(Held), 0u);
+  uint64_t Nested = Held + SoleroRecUnit * 3;
+  EXPECT_TRUE(soleroHeldBy(Nested, Tid));
+  EXPECT_EQ(soleroRecursion(Nested), 3u);
+}
+
+TEST(LockWord, SoleroRecursionMaxFitsInFiveBits) {
+  uint64_t Tid = 1ull << TidShift;
+  uint64_t W = soleroHeldWord(Tid) + SoleroRecUnit * SoleroRecMax;
+  EXPECT_EQ(soleroRecursion(W), SoleroRecMax);
+  EXPECT_TRUE(soleroHeldBy(W, Tid));
+  // One more unit would overflow into the tid field.
+  EXPECT_EQ((W + SoleroRecUnit) & SoleroRecMask, 0u);
+}
+
+TEST(LockWord, ConventionalHeldAndRecursion) {
+  uint64_t Tid = 3ull << TidShift;
+  EXPECT_TRUE(convHeldBy(Tid, Tid));
+  EXPECT_FALSE(convHeldBy(0, 0));
+  EXPECT_EQ(convRecursion(Tid + ConvRecUnit * 5), 5u);
+  EXPECT_EQ(convRecursion(Tid + ConvRecUnit * ConvRecMax), ConvRecMax);
+}
+
+TEST(LockWord, InflatedWordRoundTrip) {
+  for (uint32_t Idx : {0u, 1u, 17u, 65535u}) {
+    uint64_t W = inflatedWord(Idx);
+    EXPECT_TRUE(isInflated(W));
+    EXPECT_FALSE(soleroIsFree(W));
+    EXPECT_EQ(monitorIndex(W), Idx);
+  }
+}
+
+TEST(LockWord, CounterIncrementPreservesFreedom) {
+  uint64_t V = 0;
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_TRUE(soleroIsFree(V));
+    V += CounterUnit;
+  }
+  EXPECT_EQ(V, 1000u * CounterUnit);
+}
+
+TEST(LockWord, HighFieldMasksLowBits) {
+  EXPECT_EQ(highField(0x1ff), 0x100u);
+  EXPECT_EQ(highField(0xff), 0u);
+}

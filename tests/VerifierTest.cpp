@@ -1,0 +1,217 @@
+//===- tests/VerifierTest.cpp - CSIR verifier tests -----------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Verifier.h"
+
+#include "jit/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace solero;
+using namespace solero::jit;
+
+namespace {
+
+/// Builds a single-method module around \p B.
+Module moduleOf(Method M, uint32_t NumStatics = 4) {
+  Module Mod;
+  Mod.NumStatics = NumStatics;
+  Mod.addMethod(std::move(M));
+  return Mod;
+}
+
+} // namespace
+
+TEST(Verifier, AcceptsMinimalMethod) {
+  MethodBuilder B("f", 0, 0);
+  B.constant(42).ret();
+  Module M = moduleOf(B.take());
+  VerifiedMethod V = verifyMethod(M, 0);
+  EXPECT_TRUE(V.Ok) << V.Error;
+  EXPECT_EQ(V.MaxStack, 1u);
+  EXPECT_TRUE(V.Regions.empty());
+}
+
+TEST(Verifier, RejectsEmptyBody) {
+  Method M;
+  M.Name = "empty";
+  VerifiedMethod V = verifyMethod(moduleOf(std::move(M)), 0);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  MethodBuilder B("f", 0, 0);
+  B.add().ret(); // add with empty stack
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("underflow"), std::string::npos);
+}
+
+TEST(Verifier, RejectsFallingOffTheEnd) {
+  MethodBuilder B("f", 0, 0);
+  B.constant(1).pop(); // no return
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, RejectsOutOfRangeLocal) {
+  MethodBuilder B("f", 0, 1);
+  B.load(3).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("local"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfRangeStatic) {
+  MethodBuilder B("f", 0, 0);
+  B.getStatic(99).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, RejectsOutOfRangeField) {
+  MethodBuilder B("f", 1, 1);
+  B.load(0).getField(static_cast<int32_t>(ObjectIntFields)).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, DiscoversSyncRegion) {
+  // Synchronized blocks are statements: the stack must balance across the
+  // region, so values flow out through locals.
+  MethodBuilder B("f", 1, 2);
+  B.load(0).syncEnter();    // pc 0,1
+  B.constant(7).store(1);   // pc 2,3
+  B.syncExit();             // pc 4
+  B.load(1).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  ASSERT_TRUE(V.Ok) << V.Error;
+  ASSERT_EQ(V.Regions.size(), 1u);
+  EXPECT_EQ(V.Regions[0].EnterPc, 1u);
+  EXPECT_EQ(V.Regions[0].ExitPc, 4u);
+}
+
+TEST(Verifier, RegionWithOnlyReturnExit) {
+  // `synchronized (o) { return o.F0; }` — the SyncExit is unreachable but
+  // the lexical pairing still defines the region.
+  MethodBuilder B("early", 1, 1);
+  B.load(0).syncEnter();
+  B.load(0).getField(0).ret();
+  B.syncExit();
+  B.constant(-1).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  ASSERT_TRUE(V.Ok) << V.Error;
+  ASSERT_EQ(V.Regions.size(), 1u);
+}
+
+TEST(Verifier, DiscoversNestedRegions) {
+  MethodBuilder B("f", 2, 2);
+  B.load(0).syncEnter();   // outer at pc 1
+  B.load(1).syncEnter();   // inner at pc 3
+  B.constant(1).pop();
+  B.syncExit();            // pc 6
+  B.syncExit();            // pc 7
+  B.constant(0).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  ASSERT_TRUE(V.Ok) << V.Error;
+  ASSERT_EQ(V.Regions.size(), 2u);
+  EXPECT_EQ(V.Regions[0].EnterPc, 1u);
+  EXPECT_EQ(V.Regions[0].ExitPc, 7u);
+  EXPECT_EQ(V.Regions[1].EnterPc, 3u);
+  EXPECT_EQ(V.Regions[1].ExitPc, 6u);
+}
+
+TEST(Verifier, RejectsUnbalancedRegionStack) {
+  MethodBuilder B("f", 1, 1);
+  B.load(0).syncEnter();
+  B.constant(7); // extra value left on the stack
+  B.syncExit();
+  B.ret();
+  // Stack height at SyncExit != height at SyncEnter... actually the value
+  // is consumed by Return after the exit, but the *region* is unbalanced.
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.Error.find("balanced"), std::string::npos);
+}
+
+TEST(Verifier, RejectsSyncExitWithoutEnter) {
+  MethodBuilder B("f", 0, 0);
+  B.syncExit().constant(0).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, RejectsBranchIntoRegion) {
+  // jump over the SyncEnter into the middle of the region.
+  MethodBuilder B("f", 1, 1);
+  auto Inside = B.newLabel();
+  B.jump(Inside);        // pc 0
+  B.load(0).syncEnter(); // pc 1,2
+  B.bind(Inside);
+  B.constant(1).pop();   // pc 3,4
+  B.syncExit();          // pc 5
+  B.constant(0).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, AcceptsLoopInsideRegion) {
+  MethodBuilder B("count", 1, 2);
+  auto Loop = B.newLabel();
+  B.constant(10).store(1);
+  B.load(0).syncEnter();
+  B.bind(Loop);
+  B.load(1).constant(1).sub().store(1);
+  B.load(1).jumpIfNonZero(Loop);
+  B.syncExit();
+  B.load(1).ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_TRUE(V.Ok) << V.Error;
+  EXPECT_EQ(V.Regions.size(), 1u);
+}
+
+TEST(Verifier, RejectsInconsistentJoinHeights) {
+  MethodBuilder B("f", 0, 0);
+  auto Join = B.newLabel(), Other = B.newLabel();
+  B.constant(1).jumpIfZero(Other); // height 0 afterwards
+  B.constant(5);                   // height 1
+  B.jump(Join);
+  B.bind(Other);
+  B.constant(1).constant(2); // height 2
+  B.bind(Join);
+  B.ret();
+  VerifiedMethod V = verifyMethod(moduleOf(B.take()), 0);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, InvokeChecksParameterCount) {
+  Module M;
+  M.NumStatics = 0;
+  {
+    MethodBuilder Callee("callee", 2, 2);
+    Callee.load(0).load(1).add().ret();
+    M.addMethod(Callee.take());
+  }
+  {
+    MethodBuilder Caller("caller", 0, 0);
+    Caller.constant(1).invoke(0).ret(); // only one argument pushed
+    M.addMethod(Caller.take());
+  }
+  VerifiedMethod V = verifyMethod(M, 1);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST(Verifier, ModuleVerifyReportsFirstFailure) {
+  Module M;
+  M.NumStatics = 0;
+  MethodBuilder Good("good", 0, 0);
+  Good.constant(0).ret();
+  M.addMethod(Good.take());
+  MethodBuilder Bad("bad", 0, 0);
+  Bad.add().ret();
+  M.addMethod(Bad.take());
+  EXPECT_FALSE(verifyModule(M).Ok);
+}
