@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_barriers.dir/ablate_barriers.cpp.o"
+  "CMakeFiles/ablate_barriers.dir/ablate_barriers.cpp.o.d"
+  "ablate_barriers"
+  "ablate_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_jit_guest.dir/ablate_jit_guest.cpp.o"
+  "CMakeFiles/ablate_jit_guest.dir/ablate_jit_guest.cpp.o.d"
+  "ablate_jit_guest"
+  "ablate_jit_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_jit_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_read_mostly.dir/ablate_read_mostly.cpp.o"
+  "CMakeFiles/ablate_read_mostly.dir/ablate_read_mostly.cpp.o.d"
+  "ablate_read_mostly"
+  "ablate_read_mostly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_read_mostly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_read_mostly.
+# This may be replaced when dependencies are built.

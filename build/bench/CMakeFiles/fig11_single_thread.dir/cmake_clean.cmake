@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_single_thread.dir/fig11_single_thread.cpp.o"
+  "CMakeFiles/fig11_single_thread.dir/fig11_single_thread.cpp.o.d"
+  "fig11_single_thread"
+  "fig11_single_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_single_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_jbb_scaling.dir/fig14_jbb_scaling.cpp.o"
+  "CMakeFiles/fig14_jbb_scaling.dir/fig14_jbb_scaling.cpp.o.d"
+  "fig14_jbb_scaling"
+  "fig14_jbb_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_jbb_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_failure_ratio.dir/fig15_failure_ratio.cpp.o"
+  "CMakeFiles/fig15_failure_ratio.dir/fig15_failure_ratio.cpp.o.d"
+  "fig15_failure_ratio"
+  "fig15_failure_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_failure_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

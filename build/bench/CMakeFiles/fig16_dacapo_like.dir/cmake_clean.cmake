@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dacapo_like.dir/fig16_dacapo_like.cpp.o"
+  "CMakeFiles/fig16_dacapo_like.dir/fig16_dacapo_like.cpp.o.d"
+  "fig16_dacapo_like"
+  "fig16_dacapo_like.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dacapo_like.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

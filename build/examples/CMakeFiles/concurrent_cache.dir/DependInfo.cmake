@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/concurrent_cache.cpp" "examples/CMakeFiles/concurrent_cache.dir/concurrent_cache.cpp.o" "gcc" "examples/CMakeFiles/concurrent_cache.dir/concurrent_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jit/CMakeFiles/solero_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/solero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/locks/CMakeFiles/solero_locks.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/solero_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/solero_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/solero_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

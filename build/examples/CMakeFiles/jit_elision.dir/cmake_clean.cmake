@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_elision.dir/jit_elision.cpp.o"
+  "CMakeFiles/jit_elision.dir/jit_elision.cpp.o.d"
+  "jit_elision"
+  "jit_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solero_core.dir/SoleroLock.cpp.o"
+  "CMakeFiles/solero_core.dir/SoleroLock.cpp.o.d"
+  "libsolero_core.a"
+  "libsolero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

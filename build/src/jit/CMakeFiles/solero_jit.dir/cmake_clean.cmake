@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solero_jit.dir/Assembler.cpp.o"
+  "CMakeFiles/solero_jit.dir/Assembler.cpp.o.d"
+  "CMakeFiles/solero_jit.dir/Disassembler.cpp.o"
+  "CMakeFiles/solero_jit.dir/Disassembler.cpp.o.d"
+  "CMakeFiles/solero_jit.dir/Interpreter.cpp.o"
+  "CMakeFiles/solero_jit.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/solero_jit.dir/Opcode.cpp.o"
+  "CMakeFiles/solero_jit.dir/Opcode.cpp.o.d"
+  "CMakeFiles/solero_jit.dir/ReadOnlyClassifier.cpp.o"
+  "CMakeFiles/solero_jit.dir/ReadOnlyClassifier.cpp.o.d"
+  "CMakeFiles/solero_jit.dir/Verifier.cpp.o"
+  "CMakeFiles/solero_jit.dir/Verifier.cpp.o.d"
+  "libsolero_jit.a"
+  "libsolero_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solero_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solero_locks.dir/ReadWriteLock.cpp.o"
+  "CMakeFiles/solero_locks.dir/ReadWriteLock.cpp.o.d"
+  "CMakeFiles/solero_locks.dir/TasukiLock.cpp.o"
+  "CMakeFiles/solero_locks.dir/TasukiLock.cpp.o.d"
+  "libsolero_locks.a"
+  "libsolero_locks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solero_locks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solero_mm.dir/EpochReclaimer.cpp.o"
+  "CMakeFiles/solero_mm.dir/EpochReclaimer.cpp.o.d"
+  "libsolero_mm.a"
+  "libsolero_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solero_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsolero_mm.a"
+)

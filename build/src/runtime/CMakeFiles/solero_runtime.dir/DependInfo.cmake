@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/AsyncEventBus.cpp" "src/runtime/CMakeFiles/solero_runtime.dir/AsyncEventBus.cpp.o" "gcc" "src/runtime/CMakeFiles/solero_runtime.dir/AsyncEventBus.cpp.o.d"
+  "/root/repo/src/runtime/MonitorTable.cpp" "src/runtime/CMakeFiles/solero_runtime.dir/MonitorTable.cpp.o" "gcc" "src/runtime/CMakeFiles/solero_runtime.dir/MonitorTable.cpp.o.d"
+  "/root/repo/src/runtime/OsMonitor.cpp" "src/runtime/CMakeFiles/solero_runtime.dir/OsMonitor.cpp.o" "gcc" "src/runtime/CMakeFiles/solero_runtime.dir/OsMonitor.cpp.o.d"
+  "/root/repo/src/runtime/ThreadRegistry.cpp" "src/runtime/CMakeFiles/solero_runtime.dir/ThreadRegistry.cpp.o" "gcc" "src/runtime/CMakeFiles/solero_runtime.dir/ThreadRegistry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/solero_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

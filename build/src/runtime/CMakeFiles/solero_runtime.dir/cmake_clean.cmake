@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solero_runtime.dir/AsyncEventBus.cpp.o"
+  "CMakeFiles/solero_runtime.dir/AsyncEventBus.cpp.o.d"
+  "CMakeFiles/solero_runtime.dir/MonitorTable.cpp.o"
+  "CMakeFiles/solero_runtime.dir/MonitorTable.cpp.o.d"
+  "CMakeFiles/solero_runtime.dir/OsMonitor.cpp.o"
+  "CMakeFiles/solero_runtime.dir/OsMonitor.cpp.o.d"
+  "CMakeFiles/solero_runtime.dir/ThreadRegistry.cpp.o"
+  "CMakeFiles/solero_runtime.dir/ThreadRegistry.cpp.o.d"
+  "libsolero_runtime.a"
+  "libsolero_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solero_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solero_support.dir/CliParser.cpp.o"
+  "CMakeFiles/solero_support.dir/CliParser.cpp.o.d"
+  "CMakeFiles/solero_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/solero_support.dir/TablePrinter.cpp.o.d"
+  "libsolero_support.a"
+  "libsolero_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solero_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

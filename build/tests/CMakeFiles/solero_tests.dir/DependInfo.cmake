@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ArrayTest.cpp" "tests/CMakeFiles/solero_tests.dir/ArrayTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/ArrayTest.cpp.o.d"
+  "/root/repo/tests/AssemblerTest.cpp" "tests/CMakeFiles/solero_tests.dir/AssemblerTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/AssemblerTest.cpp.o.d"
+  "/root/repo/tests/ClassifierTest.cpp" "tests/CMakeFiles/solero_tests.dir/ClassifierTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/ClassifierTest.cpp.o.d"
+  "/root/repo/tests/DisassemblerTest.cpp" "tests/CMakeFiles/solero_tests.dir/DisassemblerTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/DisassemblerTest.cpp.o.d"
+  "/root/repo/tests/GuestMonitorTest.cpp" "tests/CMakeFiles/solero_tests.dir/GuestMonitorTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/GuestMonitorTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/solero_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/JavaHashMapTest.cpp" "tests/CMakeFiles/solero_tests.dir/JavaHashMapTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/JavaHashMapTest.cpp.o.d"
+  "/root/repo/tests/JavaTreeMapTest.cpp" "tests/CMakeFiles/solero_tests.dir/JavaTreeMapTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/JavaTreeMapTest.cpp.o.d"
+  "/root/repo/tests/LockWordTest.cpp" "tests/CMakeFiles/solero_tests.dir/LockWordTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/LockWordTest.cpp.o.d"
+  "/root/repo/tests/MemoryTest.cpp" "tests/CMakeFiles/solero_tests.dir/MemoryTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/MemoryTest.cpp.o.d"
+  "/root/repo/tests/OsMonitorTest.cpp" "tests/CMakeFiles/solero_tests.dir/OsMonitorTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/OsMonitorTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/solero_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/ReadWriteLockTest.cpp" "tests/CMakeFiles/solero_tests.dir/ReadWriteLockTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/ReadWriteLockTest.cpp.o.d"
+  "/root/repo/tests/RuntimeTest.cpp" "tests/CMakeFiles/solero_tests.dir/RuntimeTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/RuntimeTest.cpp.o.d"
+  "/root/repo/tests/SeqLockTest.cpp" "tests/CMakeFiles/solero_tests.dir/SeqLockTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/SeqLockTest.cpp.o.d"
+  "/root/repo/tests/SoleroLockTest.cpp" "tests/CMakeFiles/solero_tests.dir/SoleroLockTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/SoleroLockTest.cpp.o.d"
+  "/root/repo/tests/StressTest.cpp" "tests/CMakeFiles/solero_tests.dir/StressTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/StressTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/solero_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/SynchronizedMapTest.cpp" "tests/CMakeFiles/solero_tests.dir/SynchronizedMapTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/SynchronizedMapTest.cpp.o.d"
+  "/root/repo/tests/TasukiLockTest.cpp" "tests/CMakeFiles/solero_tests.dir/TasukiLockTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/TasukiLockTest.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/solero_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/WaitNotifyTest.cpp" "tests/CMakeFiles/solero_tests.dir/WaitNotifyTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/WaitNotifyTest.cpp.o.d"
+  "/root/repo/tests/WorkloadTest.cpp" "tests/CMakeFiles/solero_tests.dir/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/solero_tests.dir/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jit/CMakeFiles/solero_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/solero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/locks/CMakeFiles/solero_locks.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/solero_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/solero_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/solero_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
