@@ -24,7 +24,8 @@ namespace solero {
 /// Runs one (map type, policy, thread count, write%) cell.
 template <typename MapT, typename Policy>
 BenchResult runMapBench(BenchEnv &Env, int Threads, unsigned WritePercent,
-                        int NumMaps = 1, bool YieldInReadSection = false) {
+                        int NumMaps = 1, bool YieldInReadSection = false,
+                        unsigned NestedWritePercent = 0) {
   using Sync = SynchronizedMap<MapT, Policy>;
   MapWorkloadParams P;
   P.KeySpace = Env.Args.getInt("keys", 1024); // paper: 1K entries
@@ -32,16 +33,23 @@ BenchResult runMapBench(BenchEnv &Env, int Threads, unsigned WritePercent,
   P.NumMaps = NumMaps;
   P.Seed = Env.Seed;
   P.YieldInReadSection = YieldInReadSection;
+  P.NestedWritePercent = NestedWritePercent;
   MapWorkload<Sync> W(P, [&](int) { return std::make_unique<Sync>(*Env.Ctx); });
   return runThroughput(Threads, Env.Opts, std::ref(W));
 }
 
 /// Builds a one-trial runner for interleaved comparisons (the workload —
-/// including its prefilled maps — is shared across trials).
-template <typename MapT, typename Policy>
+/// including its prefilled maps — is shared across trials). Extra
+/// \p PolicyArgs are forwarded to the policy constructor after the
+/// runtime context: pass configs here when two runners must compare
+/// configurations of the *same* policy type, so both execute the same
+/// template instantiation and code-layout luck cancels out.
+template <typename MapT, typename Policy, typename... PolicyArgs>
 TrialRunner makeMapRunner(BenchEnv &Env, const char *Name, int Threads,
                           unsigned WritePercent, int NumMaps = 1,
-                          bool YieldInReadSection = false) {
+                          bool YieldInReadSection = false,
+                          unsigned NestedWritePercent = 0,
+                          PolicyArgs &&...PA) {
   using Sync = SynchronizedMap<MapT, Policy>;
   MapWorkloadParams P;
   P.KeySpace = Env.Args.getInt("keys", 1024);
@@ -49,8 +57,9 @@ TrialRunner makeMapRunner(BenchEnv &Env, const char *Name, int Threads,
   P.NumMaps = NumMaps;
   P.Seed = Env.Seed;
   P.YieldInReadSection = YieldInReadSection;
+  P.NestedWritePercent = NestedWritePercent;
   auto W = std::make_shared<MapWorkload<Sync>>(
-      P, [&](int) { return std::make_unique<Sync>(*Env.Ctx); });
+      P, [&](int) { return std::make_unique<Sync>(*Env.Ctx, PA...); });
   HarnessOptions OneTrial = Env.Opts;
   OneTrial.Trials = 1;
   return TrialRunner{Name, [W, Threads, OneTrial] {

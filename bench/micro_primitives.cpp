@@ -13,8 +13,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/ElisionController.h"
 #include "core/SoleroLock.h"
 #include "locks/ReadWriteLock.h"
+#include "support/Backoff.h"
 #include "locks/SeqLock.h"
 #include "locks/TasukiLock.h"
 #include "mm/EpochReclaimer.h"
@@ -89,6 +91,65 @@ void BM_SoleroUnelidedReadSection(benchmark::State &State) {
         L.synchronizedReadOnly(H, [](ReadGuard &) { return 0; }));
 }
 BENCHMARK(BM_SoleroUnelidedReadSection);
+
+void BM_SoleroAdaptiveElidedReadSection(benchmark::State &State) {
+  // Uncontended adaptive lock: stays in Elide forever; the delta vs
+  // BM_SoleroElidedReadSection is the controller's bookkeeping cost.
+  SoleroConfig Cfg;
+  Cfg.Adaptive.Enabled = true;
+  SoleroLock L(ctx(), Cfg);
+  ObjectHeader H;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.synchronizedReadOnly(H, [](ReadGuard &) { return 0; }));
+}
+BENCHMARK(BM_SoleroAdaptiveElidedReadSection);
+
+void BM_SoleroAdaptiveDisabledReadSection(benchmark::State &State) {
+  // Controller pinned in Disabled (skip budget too large to expire): the
+  // straight-to-acquisition path write-heavy phases pay per read section.
+  SoleroConfig Cfg;
+  Cfg.Adaptive.Enabled = true;
+  Cfg.Adaptive.DisabledSkipMin = 1u << 30;
+  Cfg.Adaptive.DisabledSkipMax = 1u << 30;
+  SoleroLock L(ctx(), Cfg);
+  ObjectHeader H;
+  ThreadState &TS = ThreadRegistry::current();
+  ElisionController::Decision D{true, 1, ElisionState::Elide};
+  while (L.controller().state() != ElisionState::Disabled)
+    L.controller().recordOutcome(TS, D, 1, 1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        L.synchronizedReadOnly(H, [](ReadGuard &) { return 0; }));
+}
+BENCHMARK(BM_SoleroAdaptiveDisabledReadSection);
+
+void BM_ElisionControllerRoundTrip(benchmark::State &State) {
+  // beginRead + recordOutcome pair in armed steady-state Elide (one prior
+  // failure): the bare controller overhead added to every adaptive read
+  // section once there is anything to adapt to. Before arming the pair
+  // costs one relaxed load and one thread-local compare.
+  AdaptiveElisionConfig Cfg;
+  Cfg.Enabled = true;
+  ElisionController C(Cfg);
+  ThreadState &TS = ThreadRegistry::current();
+  C.recordOutcome(TS, {true, 1, ElisionState::Elide}, 1, 1); // arm
+  for (auto _ : State) {
+    ElisionController::Decision D = C.beginRead(TS);
+    C.recordOutcome(TS, D, 1, 0);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_ElisionControllerRoundTrip);
+
+void BM_ExpBackoffFirstPause(benchmark::State &State) {
+  ExpBackoff B(16, 512);
+  for (auto _ : State) {
+    B.pause();
+    B.reset();
+  }
+}
+BENCHMARK(BM_ExpBackoffFirstPause);
 
 void BM_SoleroReadMostlyNoWrite(benchmark::State &State) {
   SoleroLock L(ctx());

@@ -82,5 +82,42 @@ int main(int Argc, char **Argv) {
     addRow(T, DaCapoRows[I], runThroughput(1, Env.Opts, std::ref(W)));
   }
   T.print();
+
+  if (Env.Args.getBool("adaptive", false)) {
+    // Controller observability (beyond the paper): per-state speculation
+    // attempts and policy transitions of Adaptive-SOLERO on map traffic
+    // with a dialled share of misclassified-read-only sections (nested
+    // same-lock write inside the read section — the deterministic failure
+    // source, see fig15 --adaptive). thr/dis/rep/ren = throttle / disable /
+    // re-probe / re-enable transition counts.
+    RuntimeConfig Patient;
+    Patient.Tiers = SpinTiers{64, 32, 1 << 14};
+    Env.Ctx = std::make_unique<RuntimeContext>(Patient);
+    int Threads =
+        static_cast<int>(Env.Args.getInt("adaptive-threads", 2));
+    std::printf("\n--- Adaptive-SOLERO controller decisions (--adaptive, %d "
+                "threads) ---\n",
+                Threads);
+    TablePrinter A({"workload", "ops/s", "fail%", "spec-skip%", "attempts",
+                    "throttled", "reprobe", "thr/dis/rep/ren"});
+    const struct {
+      const char *Name;
+      unsigned NestedWritePercent;
+    } Rows[] = {{"HashMap 5% nested-write", 5},
+                {"HashMap 50% nested-write", 50}};
+    for (const auto &Row : Rows) {
+      BenchResult R = runMapBench<HashMapT, AdaptiveSoleroPolicy>(
+          Env, Threads, /*WritePercent=*/0, 1, /*YieldInReadSection=*/false,
+          Row.NestedWritePercent);
+      A.addRow({Row.Name, TablePrinter::num(R.OpsPerSec, 0),
+                TablePrinter::percent(R.failureRatio(), 1),
+                TablePrinter::percent(R.skipRatio(), 1),
+                std::to_string(R.Delta.ElisionAttempts),
+                std::to_string(R.Delta.ThrottledAttempts),
+                std::to_string(R.Delta.ReprobeAttempts),
+                R.controllerTransitions()});
+    }
+    A.print();
+  }
   return 0;
 }

@@ -53,6 +53,25 @@ public:
     return Lock.read([&](ReadGuard &) { return Map.contains(Key); });
   }
 
+  /// A lookup whose section also enters (and immediately exits) a nested
+  /// writing section on the same lock — the paper §3.2 misclassification
+  /// shape: a block that must be treated as read-only but whose callee
+  /// synchronizes for write on the same object without actually mutating.
+  /// Under SOLERO the nested write acquisition advances the lock word, so
+  /// a speculative execution of the outer section deterministically fails
+  /// validation; elision of such sections is pure overhead (the adaptive
+  /// controller's target case).
+  std::optional<ValueType> getWithNestedWrite(const KeyType &Key) {
+    auto R = Lock.read([&](ReadGuard &) {
+      auto V = Map.get(Key);
+      Lock.write([] {});
+      return FlatOpt{V.has_value() ? *V : ValueType{}, V.has_value()};
+    });
+    if (!R.Has)
+      return std::nullopt;
+    return R.Value;
+  }
+
   bool put(const KeyType &Key, const ValueType &Value) {
     return Lock.write([&] { return Map.put(Key, Value); });
   }

@@ -1,0 +1,177 @@
+//===- core/ElisionController.cpp - Adaptive elision policy ---------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ElisionController.h"
+
+using namespace solero;
+
+const char *solero::elisionStateName(ElisionState S) {
+  switch (S) {
+  case ElisionState::Elide:
+    return "Elide";
+  case ElisionState::Throttled:
+    return "Throttled";
+  case ElisionState::Disabled:
+    return "Disabled";
+  case ElisionState::Reprobe:
+    return "Reprobe";
+  }
+  return "?";
+}
+
+ElisionController::Decision
+ElisionController::beginReadSlow(ThreadState &TS, ElisionState St) {
+  if (St == ElisionState::Throttled)
+    return {true, 1, ElisionState::Throttled};
+  if (St == ElisionState::Reprobe)
+    return {true, 1, ElisionState::Reprobe};
+  // Disabled: consume the thread's local allowance if it has one; the
+  // shared budget is drawn down SkipChunk sections at a time so the skip
+  // path, like the clean path, costs no atomic RMW per section. (A stale
+  // allowance after a state flip skips at most SkipChunk-1 extra sections
+  // — the re-probe cadence is approximate by design.)
+  if (TS.ElisionCtrlKey == this && TS.ElisionSkipAllowance != 0) {
+    --TS.ElisionSkipAllowance;
+    return {false, 0, ElisionState::Disabled};
+  }
+  if (Stats.Skip.fetch_sub(static_cast<int32_t>(SkipChunk),
+                           std::memory_order_relaxed) <=
+      static_cast<int32_t>(SkipChunk)) {
+    // Budget exhausted: this thread opens the re-probe window. Races here
+    // are benign — a second thread repeating the transition only restarts
+    // the (already empty) sample window.
+    Stats.Attempts.store(0, std::memory_order_relaxed);
+    Stats.Failures.store(0, std::memory_order_relaxed);
+    Stats.ReprobeLeft.store(static_cast<int32_t>(Cfg.ReprobeWindow),
+                            std::memory_order_relaxed);
+    Stats.State.store(static_cast<uint32_t>(ElisionState::Reprobe),
+                      std::memory_order_relaxed);
+    ++TS.Counters.CtrlReprobes;
+    return {true, 1, ElisionState::Reprobe};
+  }
+  TS.ElisionCtrlKey = this;
+  TS.ElisionSkipAllowance = SkipChunk - 1;
+  return {false, 0, ElisionState::Disabled};
+}
+
+void ElisionController::recordShared(ThreadState &TS, const Decision &D,
+                                     uint32_t Attempts, uint32_t Failures) {
+  uint32_t A = Stats.Attempts.fetch_add(Attempts, std::memory_order_relaxed) +
+               Attempts;
+  uint32_t F = Stats.Failures.load(std::memory_order_relaxed);
+  if (Failures != 0)
+    F = Stats.Failures.fetch_add(Failures, std::memory_order_relaxed) +
+        Failures;
+  if (D.St == ElisionState::Reprobe) {
+    if (Stats.ReprobeLeft.fetch_sub(1, std::memory_order_relaxed) <= 1)
+      finishReprobe(TS, A, F);
+    return;
+  }
+  if (A >= Cfg.WindowAttempts)
+    evaluateWindow(TS, A, F);
+}
+
+void ElisionController::evaluateLocalWindow(ThreadState &TS) {
+  uint32_t A = TS.LocalElisionAttempts;
+  uint32_t F = TS.LocalElisionFailures;
+  if (state() != ElisionState::Elide) {
+    // The shared machine moved on (another thread throttled or disabled
+    // meanwhile): this window was collected under stale Elide decisions.
+    TS.LocalElisionAttempts = 0;
+    TS.LocalElisionFailures = 0;
+    return;
+  }
+  double Ratio = static_cast<double>(F) / static_cast<double>(A);
+  if (Ratio >= Cfg.DisableRatio) {
+    disable(TS);
+    TS.LocalElisionAttempts = 0;
+    TS.LocalElisionFailures = 0;
+    return;
+  }
+  if (Ratio >= Cfg.ThrottleRatio) {
+    // Hand this thread's decayed window to the shared counters: Throttled
+    // sections (and the re-enable decision they feed) account there, with
+    // every thread's evidence pooled.
+    Stats.Attempts.store(A / 2, std::memory_order_relaxed);
+    Stats.Failures.store(F / 2, std::memory_order_relaxed);
+    Stats.State.store(static_cast<uint32_t>(ElisionState::Throttled),
+                      std::memory_order_relaxed);
+    ++TS.Counters.CtrlThrottles;
+    TS.LocalElisionAttempts = 0;
+    TS.LocalElisionFailures = 0;
+    return;
+  }
+  if (Ratio <= Cfg.ReenableRatio)
+    // Healthy window: forget the skip-budget growth of past bad phases.
+    Stats.SkipWindow.store(Cfg.DisabledSkipMin, std::memory_order_relaxed);
+  // Exponential decay, same halving rule as the shared window.
+  TS.LocalElisionAttempts = A / 2;
+  TS.LocalElisionFailures = F / 2;
+}
+
+void ElisionController::evaluateWindow(ThreadState &TS, uint32_t A,
+                                       uint32_t F) {
+  ElisionState St = state();
+  if (St == ElisionState::Disabled || St == ElisionState::Reprobe)
+    return; // raced with a disable/re-probe transition; their windows rule
+  double Ratio = static_cast<double>(F) / static_cast<double>(A);
+  if (Ratio >= Cfg.DisableRatio) {
+    disable(TS);
+    return;
+  }
+  if (Ratio >= Cfg.ThrottleRatio) {
+    if (St == ElisionState::Elide) {
+      Stats.State.store(static_cast<uint32_t>(ElisionState::Throttled),
+                        std::memory_order_relaxed);
+      ++TS.Counters.CtrlThrottles;
+    }
+  } else if (Ratio <= Cfg.ReenableRatio) {
+    // Healthy window: forget the skip-budget growth of past bad phases.
+    Stats.SkipWindow.store(Cfg.DisabledSkipMin, std::memory_order_relaxed);
+    if (St == ElisionState::Throttled) {
+      Stats.State.store(static_cast<uint32_t>(ElisionState::Elide),
+                        std::memory_order_relaxed);
+      ++TS.Counters.CtrlReenables;
+    }
+  }
+  // Exponential decay: halve both counters so each new window carries
+  // twice the weight of the one before it. Concurrent recordOutcome
+  // increments lost to these stores only shorten the next window.
+  Stats.Attempts.store(A / 2, std::memory_order_relaxed);
+  Stats.Failures.store(F / 2, std::memory_order_relaxed);
+}
+
+void ElisionController::finishReprobe(ThreadState &TS, uint32_t A,
+                                      uint32_t F) {
+  if (state() != ElisionState::Reprobe)
+    return; // another thread already closed this re-probe window
+  double Ratio = static_cast<double>(F) / static_cast<double>(A);
+  if (Ratio <= Cfg.ReenableRatio) {
+    Stats.Attempts.store(0, std::memory_order_relaxed);
+    Stats.Failures.store(0, std::memory_order_relaxed);
+    Stats.SkipWindow.store(Cfg.DisabledSkipMin, std::memory_order_relaxed);
+    Stats.State.store(static_cast<uint32_t>(ElisionState::Elide),
+                      std::memory_order_relaxed);
+    ++TS.Counters.CtrlReenables;
+    return;
+  }
+  disable(TS); // still failing: back off for a longer skip window
+}
+
+void ElisionController::disable(ThreadState &TS) {
+  uint32_t W = Stats.SkipWindow.load(std::memory_order_relaxed);
+  if (W == 0)
+    W = Cfg.DisabledSkipMin;
+  Stats.Skip.store(static_cast<int32_t>(W), std::memory_order_relaxed);
+  Stats.SkipWindow.store(W > Cfg.DisabledSkipMax / 2 ? Cfg.DisabledSkipMax
+                                                     : W * 2,
+                         std::memory_order_relaxed);
+  Stats.Attempts.store(0, std::memory_order_relaxed);
+  Stats.Failures.store(0, std::memory_order_relaxed);
+  Stats.State.store(static_cast<uint32_t>(ElisionState::Disabled),
+                    std::memory_order_relaxed);
+  ++TS.Counters.CtrlDisables;
+}

@@ -33,11 +33,13 @@
 #include <type_traits>
 #include <utility>
 
+#include "core/ElisionController.h"
 #include "runtime/LockWord.h"
 #include "runtime/ReadGuard.h"
 #include "runtime/RuntimeContext.h"
 #include "runtime/SpeculationFault.h"
 #include "support/Assert.h"
+#include "support/Backoff.h"
 #include "support/ScopeExit.h"
 
 namespace solero {
@@ -62,7 +64,12 @@ struct SoleroConfig {
   BarrierMode Barriers = BarrierMode::Correct;
   /// Failed speculative executions before falling back to real
   /// acquisition. The paper's implementation falls back after one failure.
+  /// Only consulted when the adaptive controller is off; when it is on,
+  /// the per-state budgets in Adaptive govern instead.
   int MaxSpecAttempts = 1;
+  /// Failure-ratio-driven speculation policy (core/ElisionController.h).
+  /// Disabled by default: the paper's fixed policy applies.
+  AdaptiveElisionConfig Adaptive;
 };
 
 class SoleroLock;
@@ -105,12 +112,17 @@ private:
   bool Upgraded = false;
 };
 
-/// The SOLERO lock protocol bound to a runtime context. Stateless per
-/// lock; all per-lock state lives in the object's header word.
+/// The SOLERO lock protocol bound to a runtime context. All protocol state
+/// lives in the object's header word; the instance itself carries only the
+/// adaptive elision controller's stats cell. One instance per lock (the
+/// LockPolicies arrangement) gives each lock site its own failure profile;
+/// an instance shared across many headers (the JIT interpreter does this)
+/// is still correct, but with the controller enabled the headers then
+/// share one blended profile.
 class SoleroLock {
 public:
   explicit SoleroLock(RuntimeContext &Ctx, SoleroConfig Config = SoleroConfig())
-      : Ctx(Ctx), Config(Config) {}
+      : Ctx(Ctx), Config(Config), Ctrl(this->Config.Adaptive) {}
 
   /// Result of a read-only entry attempt. When \c Holding is false, \c V is
   /// the free word to validate against (possibly 0 for a fresh lock — 0 is
@@ -296,6 +308,9 @@ public:
   const SoleroConfig &config() const { return Config; }
   RuntimeContext &context() { return Ctx; }
 
+  /// The adaptive elision controller (inert unless Config.Adaptive.Enabled).
+  ElisionController &controller() { return Ctrl; }
+
   static const char *protocolName() { return "SOLERO"; }
 
 private:
@@ -315,21 +330,66 @@ private:
     // conventional lock would have used (isync-equivalent).
   }
 
+  /// Consults the adaptive controller (inert pass-through when off) for
+  /// one read-only/read-mostly section's speculation budget.
+  ElisionController::Decision beginReadDecision(ThreadState &TS) {
+    if (!Config.Adaptive.Enabled)
+      return {true, Config.MaxSpecAttempts, ElisionState::Elide};
+    return Ctrl.beginRead(TS);
+  }
+
+  /// Per-attempt controller bookkeeping shared by both elision engines.
+  void noteAttempt(ThreadState &TS, const ElisionController::Decision &D,
+                   int FailuresSoFar) {
+    ++TS.Counters.ElisionAttempts;
+    if (FailuresSoFar > 0)
+      ++TS.Counters.SpecRetries;
+    if (!Config.Adaptive.Enabled)
+      return;
+    if (D.St != ElisionState::Elide) [[unlikely]] {
+      if (D.St == ElisionState::Throttled)
+        ++TS.Counters.ThrottledAttempts;
+      else if (D.St == ElisionState::Reprobe)
+        ++TS.Counters.ReprobeAttempts;
+    }
+  }
+
+  /// Reports a section's final speculation outcome to the controller.
+  void noteOutcome(ThreadState &TS, const ElisionController::Decision &D,
+                   int Attempts, int Failures) {
+    if (Config.Adaptive.Enabled)
+      Ctrl.recordOutcome(TS, D, static_cast<uint32_t>(Attempts),
+                         static_cast<uint32_t>(Failures));
+  }
+
   /// The elision engine behind synchronizedReadOnly. \p F returns non-void.
   template <typename Fn> auto runElided(ObjectHeader &H, ThreadState &TS,
                                         Fn &&F) {
     using R = std::invoke_result_t<Fn &, ReadGuard &>;
+    ElisionController::Decision D = beginReadDecision(TS);
+    if (!D.Speculate) {
+      // Controller verdict (Disabled): the decayed failure ratio says
+      // speculation here is pure overhead right now — acquire for real
+      // without paying the entry fence and a doomed execution.
+      ++TS.Counters.ElisionSkips;
+      uint64_t V1 = slowEnterWrite(H, TS);
+      return runHoldingRead(H, TS, V1, std::forward<Fn>(F));
+    }
+    ExpBackoff Backoff(Config.Adaptive.BackoffSpinsMin,
+                       Config.Adaptive.BackoffSpinsMax);
     ReadEntry E = readEnter(H, TS);
     int Failures = 0;
     for (;;) {
-      if (E.Holding)
+      if (E.Holding) {
+        noteOutcome(TS, D, Failures, Failures);
         return runHoldingRead(H, TS, E.V, std::forward<Fn>(F));
+      }
 
       // Speculative attempt. The result is returned from inside the try
       // block: the failure paths all leave through a catch or fall out to
       // the retry logic, so no deferred result storage is needed (keeping
       // the happy path free of spills across the landing-pad region).
-      ++TS.Counters.ElisionAttempts;
+      noteAttempt(TS, D, Failures);
       entryFence();
       std::size_t Depth = TS.pushRead(H, E.V);
       ReadGuard G(/*Speculative=*/true);
@@ -338,6 +398,7 @@ private:
         TS.popRead();
         if (validate(H, E.V)) {
           ++TS.Counters.ElisionSuccesses;
+          noteOutcome(TS, D, Failures + 1, Failures);
           return Result;
         }
         ++TS.Counters.ElisionFailures;
@@ -352,17 +413,23 @@ private:
         // A guest exception: genuine iff the reads were consistent
         // (Section 3.3). Nothing to release — the lock was never held.
         TS.popRead();
-        if (validate(H, E.V))
+        if (validate(H, E.V)) {
+          noteOutcome(TS, D, Failures + 1, Failures);
           throw;
+        }
         ++TS.Counters.ElisionFailures;
         ++TS.Counters.FaultRetries;
       }
-      if (++Failures >= Config.MaxSpecAttempts) {
+      if (++Failures >= D.MaxAttempts) {
         // Fallback (Figure 7 line 13): acquire the lock for real.
         ++TS.Counters.Fallbacks;
+        noteOutcome(TS, D, Failures, Failures);
         uint64_t V1 = slowEnterWrite(H, TS);
         return runHoldingRead(H, TS, V1, std::forward<Fn>(F));
       }
+      // Retry: widen the conflicting writer's window before burning
+      // another attempt (bounded exponential backoff).
+      Backoff.pause();
       E = readEnter(H, TS);
     }
   }
@@ -382,13 +449,23 @@ private:
   template <typename Fn> auto runReadMostly(ObjectHeader &H, ThreadState &TS,
                                             Fn &&F) {
     using R = std::invoke_result_t<Fn &, WriteIntent &>;
+    ElisionController::Decision D = beginReadDecision(TS);
+    if (!D.Speculate) {
+      ++TS.Counters.ElisionSkips;
+      uint64_t V1 = slowEnterWrite(H, TS);
+      return runHoldingMostly(H, TS, V1, std::forward<Fn>(F));
+    }
+    ExpBackoff Backoff(Config.Adaptive.BackoffSpinsMin,
+                       Config.Adaptive.BackoffSpinsMax);
     ReadEntry E = readEnter(H, TS);
     int Failures = 0;
     for (;;) {
-      if (E.Holding)
+      if (E.Holding) {
+        noteOutcome(TS, D, Failures, Failures);
         return runHoldingMostly(H, TS, E.V, std::forward<Fn>(F));
+      }
 
-      ++TS.Counters.ElisionAttempts;
+      noteAttempt(TS, D, Failures);
       entryFence();
       std::size_t Depth = TS.pushRead(H, E.V);
       WriteIntent W(H, TS, E.V, /*Holding=*/false);
@@ -398,11 +475,13 @@ private:
           // Section completed while holding the upgraded lock.
           exitWrite(H, TS, W.V);
           ++TS.Counters.ElisionSuccesses;
+          noteOutcome(TS, D, Failures + 1, Failures);
           return Result;
         }
         TS.popRead();
         if (validate(H, E.V)) {
           ++TS.Counters.ElisionSuccesses;
+          noteOutcome(TS, D, Failures + 1, Failures);
           return Result;
         }
         ++TS.Counters.ElisionFailures;
@@ -412,6 +491,7 @@ private:
         TS.popRead();
         ++TS.Counters.ElisionFailures;
         ++TS.Counters.Fallbacks;
+        noteOutcome(TS, D, Failures + 1, Failures + 1);
         uint64_t V1 = slowEnterWrite(H, TS);
         return runHoldingMostly(H, TS, V1, std::forward<Fn>(F));
       } catch (SpeculationFault &SF) {
@@ -432,16 +512,20 @@ private:
           throw;
         }
         TS.popRead();
-        if (validate(H, E.V))
+        if (validate(H, E.V)) {
+          noteOutcome(TS, D, Failures + 1, Failures);
           throw;
+        }
         ++TS.Counters.ElisionFailures;
         ++TS.Counters.FaultRetries;
       }
-      if (++Failures >= Config.MaxSpecAttempts) {
+      if (++Failures >= D.MaxAttempts) {
         ++TS.Counters.Fallbacks;
+        noteOutcome(TS, D, Failures, Failures);
         uint64_t V1 = slowEnterWrite(H, TS);
         return runHoldingMostly(H, TS, V1, std::forward<Fn>(F));
       }
+      Backoff.pause();
       E = readEnter(H, TS);
     }
   }
@@ -459,6 +543,7 @@ private:
 
   RuntimeContext &Ctx;
   SoleroConfig Config;
+  ElisionController Ctrl;
 };
 
 inline void WriteIntent::acquireForWrite() {

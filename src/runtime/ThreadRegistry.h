@@ -46,6 +46,18 @@ struct ProtocolCounters {
   uint64_t Deflations = 0;
   uint64_t FlcWaits = 0;         ///< parks on the flat-lock-contention path
 
+  // Adaptive elision controller (DESIGN.md "Adaptive elision"). The
+  // per-state attempt counters partition ElisionAttempts when the
+  // controller is on: Elide-state attempts are the remainder.
+  uint64_t ElisionSkips = 0;      ///< read sections that bypassed speculation
+  uint64_t SpecRetries = 0;       ///< re-attempts after a failed speculation
+  uint64_t ThrottledAttempts = 0; ///< attempts issued in Throttled state
+  uint64_t ReprobeAttempts = 0;   ///< attempts issued in Reprobe state
+  uint64_t CtrlThrottles = 0;     ///< Elide -> Throttled transitions
+  uint64_t CtrlDisables = 0;      ///< -> Disabled transitions
+  uint64_t CtrlReprobes = 0;      ///< Disabled -> Reprobe transitions
+  uint64_t CtrlReenables = 0;     ///< -> Elide re-enables
+
   ProtocolCounters &operator+=(const ProtocolCounters &O) {
     WriteEntries += O.WriteEntries;
     ReadOnlyEntries += O.ReadOnlyEntries;
@@ -60,6 +72,14 @@ struct ProtocolCounters {
     Inflations += O.Inflations;
     Deflations += O.Deflations;
     FlcWaits += O.FlcWaits;
+    ElisionSkips += O.ElisionSkips;
+    SpecRetries += O.SpecRetries;
+    ThrottledAttempts += O.ThrottledAttempts;
+    ReprobeAttempts += O.ReprobeAttempts;
+    CtrlThrottles += O.CtrlThrottles;
+    CtrlDisables += O.CtrlDisables;
+    CtrlReprobes += O.CtrlReprobes;
+    CtrlReenables += O.CtrlReenables;
     return *this;
   }
 };
@@ -118,8 +138,23 @@ public:
   std::atomic<uint32_t> PollFlag{0};
 
   /// Per-thread protocol counters (owner thread writes; aggregation reads
-  /// them racily, which is fine for statistics).
-  ProtocolCounters Counters;
+  /// them racily, which is fine for statistics). On its own cache line:
+  /// PollFlag above is written by *other* threads, and without the
+  /// alignment every async-event tick would invalidate the line holding
+  /// these hot fast-path counters in the owner's cache.
+  alignas(CacheLineSize) ProtocolCounters Counters;
+
+  /// Adaptive-elision thread-local accounting (core/ElisionController.h):
+  /// in the Elide state each thread runs its own decayed failure window
+  /// here, and in Disabled it draws skip budget in chunks into a local
+  /// allowance, so neither per-section fast path performs an atomic RMW.
+  /// Keyed by controller address only — the key is never dereferenced, so
+  /// a key left behind by a destroyed lock is harmless (the local window
+  /// is simply abandoned on mismatch).
+  const void *ElisionCtrlKey = nullptr;
+  uint32_t LocalElisionAttempts = 0;
+  uint32_t LocalElisionFailures = 0;
+  uint32_t ElisionSkipAllowance = 0;
 
 private:
   friend class ThreadRegistry;

@@ -53,6 +53,36 @@ inline void spinTier1(int Iterations) {
     cpuRelax();
 }
 
+/// Bounded exponential backoff for optimistic-retry loops (the BRAVO /
+/// Fissile-lock recipe): each pause() busy-waits twice as long as the
+/// previous one, clamped to [MinSpins, MaxSpins] cpuRelax() iterations.
+/// Used by the adaptive elision controller between speculation retries so
+/// a conflicting writer gets a widening window to drain before the reader
+/// burns another failed attempt.
+class ExpBackoff {
+public:
+  explicit ExpBackoff(int MinSpins = 16, int MaxSpins = 1024)
+      : Min(MinSpins < 1 ? 1 : MinSpins),
+        Max(MaxSpins < Min ? Min : MaxSpins), Cur(Min) {}
+
+  /// Busy-waits for the current interval, then doubles it (saturating).
+  void pause() {
+    spinTier1(Cur);
+    Cur = Cur > Max / 2 ? Max : Cur * 2;
+  }
+
+  /// Returns to the minimum interval (call after a success).
+  void reset() { Cur = Min; }
+
+  /// The spin count the next pause() will use.
+  int currentSpins() const { return Cur; }
+
+private:
+  int Min;
+  int Max;
+  int Cur;
+};
+
 } // namespace solero
 
 #endif // SOLERO_SUPPORT_BACKOFF_H

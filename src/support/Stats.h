@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "support/Assert.h"
@@ -53,6 +54,14 @@ private:
   double Min = 0.0;
   double Max = 0.0;
 };
+
+/// Numerator/denominator as a double, 0 for an empty denominator. The
+/// counter-ratio shape every stats table uses (failure ratio, skip ratio,
+/// rmw/op, ...).
+inline double safeRatio(uint64_t Num, uint64_t Den) {
+  return Den == 0 ? 0.0
+                  : static_cast<double>(Num) / static_cast<double>(Den);
+}
 
 /// Returns the \p Q quantile (0..1) of \p Samples using linear interpolation.
 /// The input vector is copied; callers keep their sample order.

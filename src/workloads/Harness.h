@@ -21,6 +21,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,31 +41,19 @@ struct BenchResult {
 
   /// Elision failure ratio (Figure 15): failures / attempts.
   double failureRatio() const {
-    uint64_t A = Delta.ElisionAttempts;
-    return A == 0 ? 0.0 : static_cast<double>(Delta.ElisionFailures) /
-                              static_cast<double>(A);
+    return safeRatio(Delta.ElisionFailures, Delta.ElisionAttempts);
   }
 
   /// Atomic RMW operations per workload op — the coherence-traffic proxy.
-  double rmwPerOp() const {
-    return Ops == 0 ? 0.0
-                    : static_cast<double>(Delta.AtomicRmws) /
-                          static_cast<double>(Ops);
-  }
+  double rmwPerOp() const { return safeRatio(Delta.AtomicRmws, Ops); }
 
   /// Lock-word stores per workload op.
-  double storesPerOp() const {
-    return Ops == 0 ? 0.0
-                    : static_cast<double>(Delta.LockWordStores) /
-                          static_cast<double>(Ops);
-  }
+  double storesPerOp() const { return safeRatio(Delta.LockWordStores, Ops); }
 
   /// Ratio of read-only critical-section entries (Table 1 column 3).
   double readOnlyRatio() const {
-    uint64_t Total = Delta.WriteEntries + Delta.ReadOnlyEntries;
-    return Total == 0 ? 0.0
-                      : static_cast<double>(Delta.ReadOnlyEntries) /
-                            static_cast<double>(Total);
+    return safeRatio(Delta.ReadOnlyEntries,
+                     Delta.WriteEntries + Delta.ReadOnlyEntries);
   }
 
   /// Critical-section entries per second (Table 1 column 2).
@@ -74,6 +63,21 @@ struct BenchResult {
                : static_cast<double>(Delta.WriteEntries +
                                      Delta.ReadOnlyEntries) /
                      Seconds;
+  }
+
+  /// Fraction of read-only sections whose speculation was skipped by the
+  /// adaptive elision controller (Disabled state).
+  double skipRatio() const {
+    return safeRatio(Delta.ElisionSkips, Delta.ReadOnlyEntries);
+  }
+
+  /// "throttles/disables/reprobes/re-enables" controller-transition
+  /// summary for stats tables.
+  std::string controllerTransitions() const {
+    return std::to_string(Delta.CtrlThrottles) + "/" +
+           std::to_string(Delta.CtrlDisables) + "/" +
+           std::to_string(Delta.CtrlReprobes) + "/" +
+           std::to_string(Delta.CtrlReenables);
   }
 };
 
@@ -93,6 +97,14 @@ inline ProtocolCounters countersDelta(const ProtocolCounters &Before,
   D.Inflations = After.Inflations - Before.Inflations;
   D.Deflations = After.Deflations - Before.Deflations;
   D.FlcWaits = After.FlcWaits - Before.FlcWaits;
+  D.ElisionSkips = After.ElisionSkips - Before.ElisionSkips;
+  D.SpecRetries = After.SpecRetries - Before.SpecRetries;
+  D.ThrottledAttempts = After.ThrottledAttempts - Before.ThrottledAttempts;
+  D.ReprobeAttempts = After.ReprobeAttempts - Before.ReprobeAttempts;
+  D.CtrlThrottles = After.CtrlThrottles - Before.CtrlThrottles;
+  D.CtrlDisables = After.CtrlDisables - Before.CtrlDisables;
+  D.CtrlReprobes = After.CtrlReprobes - Before.CtrlReprobes;
+  D.CtrlReenables = After.CtrlReenables - Before.CtrlReenables;
   return D;
 }
 
@@ -165,11 +177,16 @@ struct TrialRunner {
 /// CPU (frequency scaling, steal time on shared vCPUs) hit every
 /// implementation equally instead of biasing whichever ran last — without
 /// it, same-binary reruns on this container disagree by tens of percent.
+/// Odd rounds run in reverse order: with a fixed order a null comparison
+/// (identical runners) still shows the later slot a steady couple of
+/// percent behind the first, and best-of over both positions cancels that
+/// slot bias too.
 inline std::vector<BenchResult>
 runInterleavedBest(const std::vector<TrialRunner> &Runners, int Rounds) {
   std::vector<BenchResult> Best(Runners.size());
   for (int Round = 0; Round < Rounds; ++Round)
-    for (std::size_t I = 0; I < Runners.size(); ++I) {
+    for (std::size_t K = 0; K < Runners.size(); ++K) {
+      std::size_t I = (Round % 2) ? Runners.size() - 1 - K : K;
       BenchResult R = Runners[I].RunOneTrial();
       if (R.OpsPerSec > Best[I].OpsPerSec)
         Best[I] = R;

@@ -109,6 +109,40 @@ inline SoleroConfig weakBarrierSoleroConfig() {
   return C;
 }
 
+/// SOLERO with the adaptive elision controller on (default thresholds;
+/// see core/ElisionController.h).
+inline SoleroConfig adaptiveSoleroConfig() {
+  SoleroConfig C;
+  C.Adaptive.Enabled = true;
+  return C;
+}
+
+/// Adaptive-SOLERO: the failure-ratio-driven controller decides per lock
+/// whether read-only sections speculate (the fig15 --adaptive competitor).
+class AdaptiveSoleroPolicy {
+public:
+  explicit AdaptiveSoleroPolicy(RuntimeContext &Ctx,
+                                SoleroConfig Config = adaptiveSoleroConfig())
+      : Inner(Ctx, Config) {}
+
+  template <typename Fn> decltype(auto) read(Fn &&F) {
+    return Inner.read(std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) write(Fn &&F) {
+    return Inner.write(std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) readMostly(Fn &&F) {
+    return Inner.readMostly(std::forward<Fn>(F));
+  }
+
+  static const char *name() { return "Adaptive-SOLERO"; }
+
+  SoleroLock &protocol() { return Inner.protocol(); }
+
+private:
+  SoleroPolicy Inner;
+};
+
 } // namespace solero
 
 #endif // SOLERO_WORKLOADS_LOCKPOLICIES_H

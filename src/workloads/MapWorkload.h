@@ -41,6 +41,14 @@ struct MapWorkloadParams {
   /// validation window, which is what produces Figure 15's nonzero
   /// speculation-failure ratios (see EXPERIMENTS.md).
   bool YieldInReadSection = false;
+  /// Percent of read operations that run getWithNestedWrite instead of a
+  /// plain get: the paper §3.2 misclassified-read-only shape, whose nested
+  /// lock-write acquisition makes speculation fail deterministically
+  /// without lengthening the section. This is the failure dial for the
+  /// adaptive-controller sweep: unlike YieldInReadSection it produces
+  /// failure ratios that don't depend on scheduler preemption, so it works
+  /// the same on a 1-vCPU host as on a multiprocessor.
+  unsigned NestedWritePercent = 0;
 };
 
 /// Drives get/put traffic against one or more synchronized maps.
@@ -72,6 +80,12 @@ public:
         Rng.nextBounded(static_cast<uint64_t>(Params.KeySpace)));
     if (Params.WritePercent != 0 && Rng.nextPercent(Params.WritePercent)) {
       M.put(Key, static_cast<int64_t>(Rng.next() >> 1));
+      return;
+    }
+    if (Params.NestedWritePercent != 0 &&
+        Rng.nextPercent(Params.NestedWritePercent)) {
+      auto V = M.getWithNestedWrite(Key);
+      State.Sink += V.has_value() ? *V : 0;
       return;
     }
     if (Params.YieldInReadSection) {

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Backoff.h"
 #include "support/Barrier.h"
 #include "support/CliParser.h"
 #include "support/Rng.h"
@@ -78,6 +79,46 @@ TEST(Stats, QuantileInterpolates) {
 
 TEST(Stats, QuantileSingleElement) {
   EXPECT_DOUBLE_EQ(quantile({7.0}, 0.99), 7.0);
+}
+
+TEST(Backoff, ExpBackoffDoublesAndSaturates) {
+  ExpBackoff B(/*MinSpins=*/4, /*MaxSpins=*/32);
+  EXPECT_EQ(B.currentSpins(), 4);
+  B.pause();
+  EXPECT_EQ(B.currentSpins(), 8);
+  B.pause();
+  EXPECT_EQ(B.currentSpins(), 16);
+  B.pause();
+  EXPECT_EQ(B.currentSpins(), 32);
+  B.pause(); // clamped at MaxSpins, never overshoots
+  EXPECT_EQ(B.currentSpins(), 32);
+}
+
+TEST(Backoff, ExpBackoffResetReturnsToMin) {
+  ExpBackoff B(8, 1024);
+  for (int I = 0; I < 20; ++I)
+    B.pause();
+  EXPECT_EQ(B.currentSpins(), 1024);
+  B.reset();
+  EXPECT_EQ(B.currentSpins(), 8);
+}
+
+TEST(Backoff, ExpBackoffSanitizesDegenerateBounds) {
+  ExpBackoff Zero(0, 0); // both clamp to at least one spin
+  EXPECT_EQ(Zero.currentSpins(), 1);
+  Zero.pause();
+  EXPECT_EQ(Zero.currentSpins(), 1);
+
+  ExpBackoff Inverted(64, 2); // Max below Min clamps to Min
+  EXPECT_EQ(Inverted.currentSpins(), 64);
+  Inverted.pause();
+  EXPECT_EQ(Inverted.currentSpins(), 64);
+}
+
+TEST(Stats, SafeRatioHandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(safeRatio(3, 4), 0.75);
+  EXPECT_DOUBLE_EQ(safeRatio(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(safeRatio(7, 0), 0.0);
 }
 
 TEST(CliParser, ParsesAllForms) {
