@@ -15,6 +15,8 @@
 
 #include "core/ElisionController.h"
 #include "core/SoleroLock.h"
+#include "jit/Interpreter.h"
+#include "jit/MethodBuilder.h"
 #include "locks/ReadWriteLock.h"
 #include "support/Backoff.h"
 #include "locks/SeqLock.h"
@@ -227,6 +229,92 @@ void BM_ThreadRegistryCurrent(benchmark::State &State) {
     benchmark::DoNotOptimize(&ThreadRegistry::current());
 }
 BENCHMARK(BM_ThreadRegistryCurrent);
+
+// --- CSIR execution engine -------------------------------------------------
+
+constexpr int64_t GuestLoopIters = 256;
+
+/// hot(obj, n): i = acc = 0; while (i < n) { acc += obj.F0; ++i } — one of
+/// each superinstruction pattern plus a back edge per iteration.
+jit::Module buildHotLoop() {
+  jit::MethodBuilder B("hot", 2, 4);
+  auto Loop = B.newLabel(), Done = B.newLabel();
+  B.constant(0).store(2).constant(0).store(3);
+  B.bind(Loop);
+  B.load(2).load(1).cmpLt().jumpIfZero(Done);
+  B.load(3).load(0).getField(0).add().store(3);
+  B.load(2).constant(1).add().store(2);
+  B.jump(Loop);
+  B.bind(Done);
+  B.load(3).ret();
+  jit::Module M;
+  M.addMethod(B.take());
+  return M;
+}
+
+/// Core dispatch comparison behind the A3 speedup: the same hot guest loop
+/// under the pre-decoded threaded engine (Arg 1) vs the re-decoding switch
+/// oracle (Arg 0). items/s = guest loop iterations.
+void BM_DispatchSwitchVsThreaded(benchmark::State &State) {
+  jit::Interpreter::Options Opts;
+  Opts.Mode = State.range(0) ? jit::DispatchMode::Threaded
+                             : jit::DispatchMode::Reference;
+  jit::Interpreter I(ctx(), buildHotLoop(), Opts);
+  jit::GuestObject *Obj = I.allocateObject();
+  Obj->F[0].write(3);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        I.invoke(0, {jit::Value::ofRef(Obj), jit::Value::ofInt(GuestLoopIters)})
+            .asInt());
+  State.SetItemsProcessed(State.iterations() * GuestLoopIters);
+  State.SetLabel(State.range(0) ? "threaded" : "switch");
+}
+BENCHMARK(BM_DispatchSwitchVsThreaded)->Arg(0)->Arg(1);
+
+/// Guest call cost: 8 straight-line invokes of a one-add leaf per top-level
+/// call. Frames come from the per-invoke arena — the items/s delta against
+/// history tracks the zero-allocation call path. items/s = guest invokes.
+void BM_InvokeFrameSetup(benchmark::State &State) {
+  jit::Module M;
+  {
+    jit::MethodBuilder B("caller", 1, 1);
+    for (int C = 0; C < 8; ++C)
+      B.load(0).invoke(1).store(0);
+    B.load(0).ret();
+    M.addMethod(B.take());
+  }
+  {
+    jit::MethodBuilder B("leaf", 1, 1);
+    B.load(0).constant(1).add().ret();
+    M.addMethod(B.take());
+  }
+  jit::Interpreter I(ctx(), std::move(M), jit::Interpreter::Options());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(I.invoke(0, {jit::Value::ofInt(0)}).asInt());
+  State.SetItemsProcessed(State.iterations() * 8);
+}
+BENCHMARK(BM_InvokeFrameSetup);
+
+/// Budget + checkpoint poll cost at loop back edges: an empty countdown
+/// loop is all branch, poll, and checkpoint. items/s = back edges polled.
+void BM_CheckpointPollCounter(benchmark::State &State) {
+  jit::MethodBuilder B("spin", 1, 1);
+  auto Loop = B.newLabel(), Done = B.newLabel();
+  B.bind(Loop);
+  B.load(0).jumpIfZero(Done);
+  B.load(0).constant(-1).add().store(0);
+  B.jump(Loop);
+  B.bind(Done);
+  B.constant(0).ret();
+  jit::Module M;
+  M.addMethod(B.take());
+  jit::Interpreter I(ctx(), std::move(M), jit::Interpreter::Options());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        I.invoke(0, {jit::Value::ofInt(GuestLoopIters)}).asInt());
+  State.SetItemsProcessed(State.iterations() * GuestLoopIters);
+}
+BENCHMARK(BM_CheckpointPollCounter);
 
 } // namespace
 

@@ -64,6 +64,52 @@ std::string jit::disassemble(const Module &M, uint32_t Id,
   return Out;
 }
 
+std::string jit::disassembleTranslated(const Module &M,
+                                       const TranslatedModule &TM,
+                                       uint32_t Id) {
+  const Method &Fn = M.method(Id);
+  const TranslatedMethod &T = TM.Methods[Id];
+  std::string Out;
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "translated %s(params=%u, locals=%u, maxstack=%u):\n",
+                Fn.Name.c_str(), T.NumParams, T.NumLocals, T.MaxStack);
+  Out += Buf;
+  for (std::size_t Ti = 0; Ti < T.Code.size(); ++Ti) {
+    const TInst &I = T.Code[Ti];
+    const char *Name = tOpName(I.op());
+    switch (I.op()) {
+    case TOp::Jump:
+    case TOp::JumpIfZero:
+    case TOp::JumpIfNonZero:
+    case TOp::CmpLtJumpIfZero:
+    case TOp::CmpEqJumpIfZero:
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: %s ->%d%s", Ti, Name, I.A,
+                    I.backEdge() ? " (back edge)" : "");
+      break;
+    case TOp::SyncEnter:
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: %s [%s] cont=%d", Ti, Name,
+                    regionKindName(static_cast<RegionKind>(I.B)), I.A);
+      break;
+    case TOp::Invoke:
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: invoke %s", Ti,
+                    M.method(static_cast<uint32_t>(I.A)).Name.c_str());
+      break;
+    case TOp::LoadGetField:
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: %s local=%u field=%d", Ti, Name,
+                    static_cast<unsigned>(I.B), I.A);
+      break;
+    default:
+      std::snprintf(Buf, sizeof(Buf), "  %4zu: %s %d", Ti, Name, I.A);
+      break;
+    }
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf), "    ; pc %u\n", T.PcMap[Ti]);
+    Out += Buf;
+  }
+  return Out;
+}
+
 std::string jit::disassembleModule(const Module &M,
                                    const ClassifiedModule *Classes) {
   std::string Out;

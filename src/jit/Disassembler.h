@@ -18,6 +18,7 @@
 
 #include "jit/Program.h"
 #include "jit/ReadOnlyClassifier.h"
+#include "jit/Translator.h"
 
 namespace solero {
 namespace jit {
@@ -30,6 +31,14 @@ std::string disassemble(const Module &M, uint32_t Id,
 /// Renders the whole module.
 std::string disassembleModule(const Module &M,
                               const ClassifiedModule *Classes = nullptr);
+
+/// Renders the pre-decoded stream of method \p Id in \p TM: fused opcodes
+/// print as their pair names ("cmplt+jz"), branches show their resolved
+/// stream offset plus a back-edge marker, SyncEnter shows its inline-cached
+/// kind and continuation, and every line carries the original pc it was
+/// translated from.
+std::string disassembleTranslated(const Module &M, const TranslatedModule &TM,
+                                  uint32_t Id);
 
 } // namespace jit
 } // namespace solero

@@ -7,13 +7,28 @@
 /// \file
 /// Executes CSIR under SOLERO. Construction plays the role of the paper's
 /// JIT compilation: the module is verified, synchronized regions are
-/// discovered and classified (Section 3.2), and execution then locks each
+/// discovered and classified (Section 3.2), the program is lowered to a
+/// pre-decoded stream (jit/Translator.h), and execution then locks each
 /// region according to its classification — read-only regions elide
 /// (Figure 7), read-mostly regions elide with mid-section upgrade
-/// (Figure 17), writing regions acquire conventionally (Figure 6). The
-/// interpreter inserts asynchronous check points at loop back-edges and
-/// method entries (Section 3.3), and guest runtime errors raised during
-/// speculation flow through the engine's genuine-or-retry logic.
+/// (Figure 17), writing regions acquire conventionally (Figure 6).
+///
+/// Two dispatch engines share the lock protocol and the guest heap:
+///
+///  - DispatchMode::Threaded (default): executes the translated stream
+///    with computed-goto threaded dispatch (a pre-decoded switch loop on
+///    toolchains without the extension), superinstructions fused, call
+///    frames carved from a pre-sized per-invoke arena (no allocation on
+///    the call path), and the runaway-step budget polled only at loop
+///    back edges and invokes;
+///  - DispatchMode::Reference: the original re-decoding switch
+///    interpreter over Method::Code, retained as the differential-test
+///    oracle. It shares the frame arena and budget polling so the two
+///    engines differ only in dispatch.
+///
+/// Asynchronous check points fire at loop back-edges and method entries
+/// (Section 3.3) in both engines, and guest runtime errors raised during
+/// speculation flow through the elision engine's genuine-or-retry logic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +44,7 @@
 #include "core/SoleroLock.h"
 #include "jit/Program.h"
 #include "jit/ReadOnlyClassifier.h"
+#include "jit/Translator.h"
 #include "jit/Verifier.h"
 #include "locks/TasukiLock.h"
 #include "mm/TypeStablePool.h"
@@ -97,6 +113,16 @@ struct Value {
   }
 };
 
+/// Which execution engine runs the guest program.
+enum class DispatchMode : uint8_t {
+  /// Pre-decoded stream, threaded dispatch, arena frames, fused
+  /// superinstructions. The production engine.
+  Threaded,
+  /// Re-decoding switch loop over the original Method::Code — the
+  /// differential-testing oracle.
+  Reference,
+};
+
 /// The CSIR execution engine. Thread-safe for concurrent invoke() calls
 /// (that is the point: guest threads contending on guest monitors), except
 /// when profile collection is enabled, which is a single-threaded
@@ -108,10 +134,20 @@ public:
     /// ignoring classifications (the paper's "Lock" configuration).
     bool UseConventionalLocks = false;
     /// Count per-instruction executions for profile-guided read-mostly
-    /// classification (single-threaded phase).
+    /// classification (single-threaded phase). The threaded engine bakes
+    /// the instrumentation into the translated stream, so execution with
+    /// this off pays nothing for the option.
     bool CollectProfile = false;
-    /// Guest step budget per top-level invoke (runaway-loop backstop).
+    /// Guest progress budget per top-level invoke (runaway-loop
+    /// backstop), decremented at loop back edges and invokes — any
+    /// unbounded execution must pass one of those — rather than per
+    /// instruction.
     uint64_t MaxSteps = 1ULL << 32;
+    /// Which engine executes guest code.
+    DispatchMode Mode = DispatchMode::Threaded;
+    /// Fuse hot adjacent pairs into superinstructions (threaded engine
+    /// only; off is useful for bracketing fusion's contribution).
+    bool FuseSuperinstructions = true;
     /// Protocol configuration for SOLERO-mode regions.
     SoleroConfig Solero;
   };
@@ -124,7 +160,9 @@ public:
   Value invoke(const std::string &Name, std::vector<Value> Args);
 
   /// Re-runs classification with the collected profile (the paper's
-  /// recompilation after profiling). Call from a quiescent point.
+  /// recompilation after profiling) and retranslates the program so the
+  /// new classifications reach the SyncEnter inline caches. Call from a
+  /// quiescent point.
   void reclassifyWithProfile();
 
   /// Allocates a zeroed guest object (for test/bench setup and NewObject).
@@ -136,47 +174,93 @@ public:
   const Module &module() const { return Mod; }
   const ClassifiedModule &classification() const { return Classes; }
   const Profile &profile() const { return Prof; }
+  /// The pre-decoded program (empty in Reference mode).
+  const TranslatedModule &translated() const { return Trans; }
+
+  /// True when the build dispatches the translated stream with computed
+  /// goto; false when DispatchMode::Threaded falls back to a pre-decoded
+  /// switch loop.
+  static bool threadedDispatchAvailable();
 
   int64_t staticCell(uint32_t Idx) const { return Statics[Idx].read(); }
   void setStaticCell(uint32_t Idx, int64_t V) { Statics[Idx].write(V); }
 
 private:
-  /// Per-top-level-invoke execution context (thread-owned).
+  /// Guest call depth bound (StackOverflow beyond); together with the
+  /// verifier's per-method frame bounds it sizes the call arena.
+  static constexpr int MaxCallDepth = 200;
+
+  /// Per-top-level-invoke execution context (thread-owned). Frames are
+  /// bump-allocated from a contiguous arena leased for the duration of
+  /// the invoke; the intent/monitor stacks live alongside it.
   struct ExecCtx {
-    uint64_t StepsLeft = 0;
+    uint64_t PollsLeft = 0;
     int Depth = 0;
+    /// Bump pointer into the leased frame arena.
+    Value *ArenaTop = nullptr;
     /// Innermost-last stack of active read-mostly upgrade handles.
-    std::vector<WriteIntent *> Intents;
+    std::vector<WriteIntent *> *Intents = nullptr;
     /// Innermost-last stack of held writing-region monitors (for guest
     /// Object.wait / notify in SOLERO mode).
     std::vector<std::pair<ObjectHeader *, SoleroLock::MonitorHandle *>>
-        Monitors;
+        *Monitors = nullptr;
   };
 
+  /// An activation record inside the arena: locals at [Locals,
+  /// Locals+NumLocals), operand stack from there up to the verifier-proven
+  /// bound. \c Sp is authoritative only at engine boundaries (region
+  /// entry/exit, return); inside a dispatch loop it lives in a register.
   struct Frame {
     uint32_t MethodId;
-    std::vector<Value> Locals;
-    std::vector<Value> Stack;
+    Value *Locals;
+    Value *Sp;
   };
 
-  /// Fast region lookup: (method, SyncEnter pc) -> classified region.
+  /// Verifier facts the engines need per method.
+  struct MethodFacts {
+    uint32_t NumParams = 0;
+    uint32_t NumLocals = 0;
+    uint32_t FrameSlots = 0; ///< NumLocals + verifier MaxStack
+  };
+
+  /// Fast region lookup for the reference engine:
+  /// (method, SyncEnter pc) -> classified region.
   struct RegionEntry {
     uint32_t ExitPc;
     RegionKind Kind;
   };
 
-  Value execMethod(ExecCtx &EC, uint32_t Id, std::vector<Value> Locals);
+  // --- Reference (switch) engine -----------------------------------------
+  Value execMethod(ExecCtx &EC, uint32_t Id, const Value *Args);
+  template <bool Profiling>
   std::optional<Value> execRange(ExecCtx &EC, Frame &F, uint32_t Pc,
                                  uint32_t End);
   std::optional<Value> execRegion(ExecCtx &EC, Frame &F, uint32_t EnterPc,
                                   GuestObject *Obj);
+
+  // --- Threaded (pre-decoded) engine -------------------------------------
+  Value execMethodThreaded(ExecCtx &EC, uint32_t Id, const Value *Args);
+  std::optional<Value> execThreaded(ExecCtx &EC, Frame &F, uint32_t Pc);
+  std::optional<Value> execRegionThreaded(ExecCtx &EC, Frame &F,
+                                          uint32_t BodyPc, RegionKind Kind,
+                                          GuestObject *Obj);
+
+  // --- Shared pieces ------------------------------------------------------
+  /// Runs \p Body under the lock protocol \p Kind selects (or the
+  /// conventional protocol in baseline mode).
+  template <typename BodyFn>
+  std::optional<Value> runRegion(ExecCtx &EC, RegionKind Kind,
+                                 GuestObject *Obj, BodyFn &&Body);
+  /// Guest Object.wait / notify / notifyAll.
+  void monitorOp(ExecCtx &EC, GuestObject *Obj, Opcode Op);
   const RegionEntry &regionAt(uint32_t MethodId, uint32_t EnterPc) const;
   void rebuildRegionTables();
+  void retranslate();
   /// Called before any write or side effect: upgrades the innermost
   /// read-mostly section if one is active (Figure 17).
   void beforeWriteEffect(ExecCtx &EC) {
-    if (!EC.Intents.empty())
-      EC.Intents.back()->acquireForWrite();
+    if (!EC.Intents->empty())
+      EC.Intents->back()->acquireForWrite();
   }
 
   RuntimeContext &Ctx;
@@ -185,7 +269,12 @@ private:
   SoleroLock Solero;
   TasukiLock Conventional;
   ClassifiedModule Classes;
+  TranslatedModule Trans;
   Profile Prof;
+  std::vector<MethodFacts> Facts;
+  /// Arena slots one top-level invoke can need: MaxCallDepth frames of the
+  /// largest verifier-proven frame shape.
+  std::size_t ArenaSlots = 0;
   // RegionTables[Method] maps EnterPc -> entry (dense by code index).
   std::vector<std::vector<std::optional<RegionEntry>>> RegionTables;
   std::unique_ptr<SharedField<int64_t>[]> Statics;
