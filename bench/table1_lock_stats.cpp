@@ -112,9 +112,9 @@ int main(int Argc, char **Argv) {
       A.addRow({Row.Name, TablePrinter::num(R.OpsPerSec, 0),
                 TablePrinter::percent(R.failureRatio(), 1),
                 TablePrinter::percent(R.skipRatio(), 1),
-                std::to_string(R.Delta.ElisionAttempts),
-                std::to_string(R.Delta.ThrottledAttempts),
-                std::to_string(R.Delta.ReprobeAttempts),
+                std::to_string(R.Delta.ElisionAttempts.value()),
+                std::to_string(R.Delta.ThrottledAttempts.value()),
+                std::to_string(R.Delta.ReprobeAttempts.value()),
                 R.controllerTransitions()});
     }
     A.print();

@@ -50,7 +50,11 @@ void SoleroLock::slowExitWrite(ObjectHeader &H, ThreadState &TS, uint64_t V1) {
     return;
   }
   // The FLC bit is set (the only remaining fast-path miss): release with
-  // the incremented counter, then wake parked contenders (check_flc).
+  // the incremented counter, then wake parked contenders (check_flc). The
+  // store may clobber an FLC bit set after the load above, but that is
+  // harmless here because the notify below is unconditional and ordered
+  // after any park decision by the monitor mutex.
+  SOLERO_INJECT(SoleroSlowExitRelease);
   H.word().store(V1 + CounterUnit, std::memory_order_release);
   ++TS.Counters.LockWordStores;
   Ctx.monitors().monitorFor(H).notifyFlatRelease();
@@ -132,11 +136,24 @@ bool SoleroLock::slowReadExit(ObjectHeader &H, ThreadState &TS, uint64_t V) {
       H.word().fetch_sub(SoleroRecUnit, std::memory_order_relaxed);
       return true;
     }
-    // hold_flat_lock: release with v + 0x100, then check_flc.
+    // hold_flat_lock: release with v + 0x100, then check_flc. Same
+    // lost-wakeup hazard as exitWrite's fast path: an FLC bit set between
+    // the load of W and the release would be clobbered by a blind store
+    // and its contender never notified. Release via CAS when W is clean;
+    // a failure means FLC just arrived, so re-release unconditionally
+    // with the bit cleared and notify.
+    SOLERO_INJECT(SoleroReadExitRelease);
+    if ((W & FlcBit) == 0) {
+      uint64_t Expected = W;
+      ++TS.Counters.AtomicRmws;
+      if (H.word().compare_exchange_strong(Expected, V + CounterUnit,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed))
+        return true;
+    }
     H.word().store(V + CounterUnit, std::memory_order_release);
     ++TS.Counters.LockWordStores;
-    if ((W & FlcBit) != 0)
-      Ctx.monitors().monitorFor(H).notifyFlatRelease();
+    Ctx.monitors().monitorFor(H).notifyFlatRelease();
     return true;
   }
   if (isInflated(W)) {

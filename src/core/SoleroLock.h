@@ -38,6 +38,7 @@
 #include "runtime/ReadGuard.h"
 #include "runtime/RuntimeContext.h"
 #include "runtime/SpeculationFault.h"
+#include "stress/InjectionPoint.h"
 #include "support/Assert.h"
 #include "support/Backoff.h"
 #include "support/ScopeExit.h"
@@ -102,12 +103,14 @@ public:
 
 private:
   friend class SoleroLock;
-  WriteIntent(ObjectHeader &H, ThreadState &TS, uint64_t V, bool Holding)
-      : H(H), TS(TS), V(V), Holding(Holding) {}
+  WriteIntent(ObjectHeader &H, ThreadState &TS, uint64_t V, bool Holding,
+              std::size_t Depth = 0)
+      : H(H), TS(TS), V(V), Depth(Depth), Holding(Holding) {}
 
   ObjectHeader &H;
   ThreadState &TS;
   uint64_t V; ///< entry word (speculative) or fallback v1 (holding)
+  std::size_t Depth; ///< this frame's read-record index (speculative only)
   bool Holding;
   bool Upgraded = false;
 };
@@ -141,6 +144,7 @@ public:
   uint64_t enterWrite(ObjectHeader &H, ThreadState &TS) {
     uint64_t V1 = H.word().load(std::memory_order_relaxed);
     if (lockword::soleroIsFree(V1)) {
+      SOLERO_INJECT(SoleroEnterWriteCas);
       ++TS.Counters.AtomicRmws;
       if (H.word().compare_exchange_strong(
               V1, lockword::soleroHeldWord(TS.tidBits()),
@@ -151,12 +155,22 @@ public:
   }
 
   /// Releases a writing acquisition, publishing v1 + 0x100.
+  ///
+  /// The fast path must release with a CAS, not a blind store: a contender
+  /// can set the FLC bit between the load below and the release, and a
+  /// store would clobber the bit — the contender then parks with no
+  /// release left to notify it, stalling for a full timed-park backstop
+  /// (the lost-wakeup race; DESIGN.md §12). The failed CAS falls to
+  /// slowExitWrite, which re-reads the word, sees FLC, and notifies.
   void exitWrite(ObjectHeader &H, ThreadState &TS, uint64_t V1) {
     uint64_t V2 = H.word().load(std::memory_order_relaxed);
     if ((V2 & lockword::LowBitsMask) == lockword::SoleroLockBit) {
-      H.word().store(V1 + lockword::CounterUnit, std::memory_order_release);
-      ++TS.Counters.LockWordStores;
-      return;
+      SOLERO_INJECT(SoleroExitWriteRelease);
+      ++TS.Counters.AtomicRmws;
+      if (H.word().compare_exchange_strong(V2, V1 + lockword::CounterUnit,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed))
+        return;
     }
     slowExitWrite(H, TS, V1);
   }
@@ -299,6 +313,7 @@ public:
   /// (the Boehm seqlock-reader recipe).
   bool validate(ObjectHeader &H, uint64_t V) const {
     std::atomic_thread_fence(std::memory_order_acquire);
+    SOLERO_INJECT(SoleroReadValidate);
     return H.word().load(std::memory_order_relaxed) == V;
   }
 
@@ -414,6 +429,10 @@ private:
         // (Section 3.3). Nothing to release — the lock was never held.
         TS.popRead();
         if (validate(H, E.V)) {
+          // The speculation validated: this attempt succeeded, the
+          // section just completed exceptionally. Without this the
+          // attempts = successes + failures conservation law breaks.
+          ++TS.Counters.ElisionSuccesses;
           noteOutcome(TS, D, Failures + 1, Failures);
           throw;
         }
@@ -468,7 +487,7 @@ private:
       noteAttempt(TS, D, Failures);
       entryFence();
       std::size_t Depth = TS.pushRead(H, E.V);
-      WriteIntent W(H, TS, E.V, /*Holding=*/false);
+      WriteIntent W(H, TS, E.V, /*Holding=*/false, Depth);
       try {
         R Result = F(W);
         if (W.Upgraded) {
@@ -513,6 +532,9 @@ private:
         }
         TS.popRead();
         if (validate(H, E.V)) {
+          // Genuine guest exception out of a validated speculation: a
+          // success, same as the read-only engine above.
+          ++TS.Counters.ElisionSuccesses;
           noteOutcome(TS, D, Failures + 1, Failures);
           throw;
         }
@@ -552,6 +574,7 @@ inline void WriteIntent::acquireForWrite() {
   // Figure 17 line 8: CAS the entry word to thread_id + LOCK_BIT. Success
   // proves no writer intervened since entry, so all reads so far are
   // consistent and the section continues while holding the lock.
+  SOLERO_INJECT(SoleroUpgradeCas);
   ++TS.Counters.AtomicRmws;
   uint64_t Expected = V;
   if (H.word().compare_exchange_strong(
@@ -560,7 +583,12 @@ inline void WriteIntent::acquireForWrite() {
     Upgraded = true;
     Holding = true;
     // The frame is no longer speculative; retire its read record so async
-    // validation does not trip over the (now stale) entry word.
+    // validation does not trip over the (now stale) entry word. The record
+    // retired must be this frame's own — if a nested speculation is still
+    // open above us, popping here would silently retire the wrong record.
+    SOLERO_CHECK(TS.readDepth() == Depth + 1 &&
+                     TS.readRecord(Depth).Header == &H,
+                 "write upgrade must retire its own frame's read record");
     TS.popRead();
     return;
   }

@@ -6,6 +6,7 @@
 
 #include "locks/TasukiLock.h"
 
+#include "stress/InjectionPoint.h"
 #include "support/Assert.h"
 
 using namespace solero;
@@ -20,6 +21,7 @@ void TasukiLock::enter(ObjectHeader &H) {
       slowEnter(H, TS);
       return;
     }
+    SOLERO_INJECT(TasukiEnterCas);
     ++TS.Counters.AtomicRmws;
     if (H.word().compare_exchange_weak(V, TS.tidBits(),
                                        std::memory_order_acq_rel,
@@ -51,11 +53,18 @@ void TasukiLock::slowEnter(ObjectHeader &H, ThreadState &TS) {
 void TasukiLock::exit(ObjectHeader &H) {
   ThreadState &TS = ThreadRegistry::current();
   uint64_t V = H.word().load(std::memory_order_relaxed);
-  // Fast path (Figure 2): no recursion, no FLC, no inflation.
+  // Fast path (Figure 2): no recursion, no FLC, no inflation. Release via
+  // CAS, not a blind store: a contender's FLC CAS landing between the load
+  // above and the release would be clobbered by a store, and the contender
+  // would park unnotified until the timed-park backstop (the lost-wakeup
+  // race; DESIGN.md §12). A failed CAS falls to slowExit, which re-reads,
+  // sees the FLC bit, and notifies.
   if ((V & LowBitsMask) == 0) {
-    H.word().store(0, std::memory_order_release);
-    ++TS.Counters.LockWordStores;
-    return;
+    SOLERO_INJECT(TasukiExitRelease);
+    ++TS.Counters.AtomicRmws;
+    if (H.word().compare_exchange_strong(V, 0, std::memory_order_release,
+                                         std::memory_order_relaxed))
+      return;
   }
   slowExit(H, TS);
 }
@@ -73,7 +82,9 @@ void TasukiLock::slowExit(ObjectHeader &H, ThreadState &TS) {
     return;
   }
   // FLC is set: release, then wake the parked contenders so one of them can
-  // inflate (tasuki handshake).
+  // inflate (tasuki handshake). The blind store is safe here because the
+  // notify below is unconditional and mutex-ordered after park decisions.
+  SOLERO_INJECT(TasukiSlowExitRelease);
   H.word().store(0, std::memory_order_release);
   ++TS.Counters.LockWordStores;
   Ctx.monitors().monitorFor(H).notifyFlatRelease();

@@ -7,6 +7,7 @@
 #include "runtime/OsMonitor.h"
 
 #include "runtime/MonitorTable.h"
+#include "stress/InjectionPoint.h"
 #include "support/Assert.h"
 
 using namespace solero;
@@ -57,6 +58,7 @@ OsMonitor::ParkResult OsMonitor::acquireOrPark(ObjectHeader &H,
     if (P.isFree(V)) {
       // Free: acquire by inflating directly. We hold the monitor mutex, so
       // once the word designates this monitor we own the fat lock.
+      SOLERO_INJECT(MonitorInflate);
       ++TS.Counters.AtomicRmws;
       uint64_t Expected = V;
       if (H.word().compare_exchange_strong(Expected, inflatedWord(),
@@ -73,6 +75,7 @@ OsMonitor::ParkResult OsMonitor::acquireOrPark(ObjectHeader &H,
     // Thin-held by another thread: make sure the FLC bit is visible to the
     // releaser, then park (timed; see header for why).
     if ((V & FlcBit) == 0) {
+      SOLERO_INJECT(MonitorFlcSet);
       ++TS.Counters.AtomicRmws;
       uint64_t Expected = V;
       if (!H.word().compare_exchange_strong(Expected, V | FlcBit,
@@ -80,6 +83,7 @@ OsMonitor::ParkResult OsMonitor::acquireOrPark(ObjectHeader &H,
                                             std::memory_order_relaxed))
         continue;
     }
+    SOLERO_INJECT(MonitorPark);
     ++TS.Counters.FlcWaits;
     ++Waiters;
     Cv.wait_for(L, Park);
@@ -101,6 +105,7 @@ void OsMonitor::fatExit(ObjectHeader &H, ThreadState &TS) {
       // the restore word (SOLERO: the counter incremented at inflation,
       // Section 3.2). A non-empty wait set pins the monitor in fat mode —
       // its sleepers must be reachable by future notify calls.
+      SOLERO_INJECT(MonitorDeflate);
       H.word().store(RestoreWord, std::memory_order_release);
       ++TS.Counters.LockWordStores;
       ++TS.Counters.Deflations;
@@ -157,6 +162,7 @@ void OsMonitor::inflateHeldByOwner(ObjectHeader &H, ThreadState &TS,
   // The caller owns the flat lock, so a blind store cannot lose an update
   // other than a concurrently-set FLC bit; FLC parkers use timed waits and
   // re-examine the (now inflated) word when they wake.
+  SOLERO_INJECT(MonitorInflate);
   H.word().store(inflatedWord(), std::memory_order_release);
   ++TS.Counters.LockWordStores;
   ++TS.Counters.Inflations;

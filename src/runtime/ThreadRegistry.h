@@ -26,37 +26,80 @@
 
 namespace solero {
 
-/// Counters maintained per thread with plain (non-atomic) increments and
-/// aggregated on demand. AtomicRmws and LockWordStores are the
-/// coherence-traffic proxies discussed in DESIGN.md: the paper attributes
-/// the scalability gap to atomic updates of lock variables, so counting
-/// them reproduces the scalability *shape* independent of core count.
+/// A uint64_t statistic cell written by its owner thread and read racily by
+/// aggregators. The atomic makes the cross-thread read well-defined (no
+/// TSan data race) without RMW cost: increments are a relaxed load + add +
+/// relaxed store, which compiles to the same plain `add` instruction a raw
+/// uint64_t would on x86/ARM — safe precisely because only the owner
+/// thread writes. Aggregators may see a slightly stale value; they already
+/// tolerated that by design.
+class RelaxedCounter {
+public:
+  RelaxedCounter() = default;
+  RelaxedCounter(uint64_t V) : Cell(V) {}
+  RelaxedCounter(const RelaxedCounter &O) : Cell(O.value()) {}
+  RelaxedCounter &operator=(const RelaxedCounter &O) {
+    Cell.store(O.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter &operator=(uint64_t V) {
+    Cell.store(V, std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Implicit read so counters keep behaving like integers in arithmetic
+  /// and comparisons; use value() where overload sets are ambiguous
+  /// (std::to_string and friends).
+  operator uint64_t() const { return value(); }
+  uint64_t value() const { return Cell.load(std::memory_order_relaxed); }
+
+  // Owner-thread-only mutation: deliberately not fetch_add.
+  RelaxedCounter &operator++() { return *this += 1; }
+  RelaxedCounter &operator+=(uint64_t D) {
+    Cell.store(value() + D, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter &operator-=(uint64_t D) {
+    Cell.store(value() - D, std::memory_order_relaxed);
+    return *this;
+  }
+
+private:
+  std::atomic<uint64_t> Cell{0};
+};
+
+/// Counters maintained per thread with owner-only increments and
+/// aggregated on demand (RelaxedCounter makes the racy aggregation reads
+/// well-defined). AtomicRmws and LockWordStores are the coherence-traffic
+/// proxies discussed in DESIGN.md: the paper attributes the scalability
+/// gap to atomic updates of lock variables, so counting them reproduces
+/// the scalability *shape* independent of core count.
 struct ProtocolCounters {
-  uint64_t WriteEntries = 0;     ///< mutual-exclusion / writing CS entries
-  uint64_t ReadOnlyEntries = 0;  ///< read-only CS entries
-  uint64_t AtomicRmws = 0;       ///< CAS / fetch_add on lock state
-  uint64_t LockWordStores = 0;   ///< plain stores to lock state
-  uint64_t ElisionAttempts = 0;  ///< speculative executions started
-  uint64_t ElisionSuccesses = 0; ///< validated speculative executions
-  uint64_t ElisionFailures = 0;  ///< failed validations (Figure 15 numerator)
-  uint64_t Fallbacks = 0;        ///< retries that acquired the lock for real
-  uint64_t FaultRetries = 0;     ///< guest exceptions absorbed as misspeculation
-  uint64_t AsyncAborts = 0;      ///< aborts raised at async check points
-  uint64_t Inflations = 0;
-  uint64_t Deflations = 0;
-  uint64_t FlcWaits = 0;         ///< parks on the flat-lock-contention path
+  RelaxedCounter WriteEntries;     ///< mutual-exclusion / writing CS entries
+  RelaxedCounter ReadOnlyEntries;  ///< read-only CS entries
+  RelaxedCounter AtomicRmws;       ///< CAS / fetch_add on lock state
+  RelaxedCounter LockWordStores;   ///< plain stores to lock state
+  RelaxedCounter ElisionAttempts;  ///< speculative executions started
+  RelaxedCounter ElisionSuccesses; ///< validated speculative executions
+  RelaxedCounter ElisionFailures;  ///< failed validations (Fig. 15 numerator)
+  RelaxedCounter Fallbacks;        ///< retries that acquired the lock for real
+  RelaxedCounter FaultRetries;     ///< guest exceptions absorbed as failures
+  RelaxedCounter AsyncAborts;      ///< aborts raised at async check points
+  RelaxedCounter Inflations;
+  RelaxedCounter Deflations;
+  RelaxedCounter FlcWaits;         ///< parks on the flat-lock-contention path
 
   // Adaptive elision controller (DESIGN.md "Adaptive elision"). The
   // per-state attempt counters partition ElisionAttempts when the
   // controller is on: Elide-state attempts are the remainder.
-  uint64_t ElisionSkips = 0;      ///< read sections that bypassed speculation
-  uint64_t SpecRetries = 0;       ///< re-attempts after a failed speculation
-  uint64_t ThrottledAttempts = 0; ///< attempts issued in Throttled state
-  uint64_t ReprobeAttempts = 0;   ///< attempts issued in Reprobe state
-  uint64_t CtrlThrottles = 0;     ///< Elide -> Throttled transitions
-  uint64_t CtrlDisables = 0;      ///< -> Disabled transitions
-  uint64_t CtrlReprobes = 0;      ///< Disabled -> Reprobe transitions
-  uint64_t CtrlReenables = 0;     ///< -> Elide re-enables
+  RelaxedCounter ElisionSkips;      ///< read sections bypassing speculation
+  RelaxedCounter SpecRetries;       ///< re-attempts after failed speculation
+  RelaxedCounter ThrottledAttempts; ///< attempts issued in Throttled state
+  RelaxedCounter ReprobeAttempts;   ///< attempts issued in Reprobe state
+  RelaxedCounter CtrlThrottles;     ///< Elide -> Throttled transitions
+  RelaxedCounter CtrlDisables;      ///< -> Disabled transitions
+  RelaxedCounter CtrlReprobes;      ///< Disabled -> Reprobe transitions
+  RelaxedCounter CtrlReenables;     ///< -> Elide re-enables
 
   ProtocolCounters &operator+=(const ProtocolCounters &O) {
     WriteEntries += O.WriteEntries;
@@ -138,7 +181,7 @@ public:
   std::atomic<uint32_t> PollFlag{0};
 
   /// Per-thread protocol counters (owner thread writes; aggregation reads
-  /// them racily, which is fine for statistics). On its own cache line:
+  /// them racily through RelaxedCounter's atomics). On its own cache line:
   /// PollFlag above is written by *other* threads, and without the
   /// alignment every async-event tick would invalidate the line holding
   /// these hot fast-path counters in the owner's cache.

@@ -1,0 +1,82 @@
+//===- stress/SchedulePerturber.cpp - Seeded schedule perturbation --------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stress/SchedulePerturber.h"
+
+#include <thread>
+
+#include "support/Backoff.h"
+#include "support/Rng.h"
+
+using namespace solero;
+using namespace solero::stress;
+
+namespace {
+
+/// Per-thread decision stream. Owner identity (not just a seed) is stored
+/// so a thread that outlives one perturber reseeds under the next.
+struct ThreadStream {
+  const void *Owner = nullptr;
+  uint32_t Ordinal = 0;
+  Xoshiro256StarStar Rng;
+};
+
+thread_local ThreadStream Stream;
+
+} // namespace
+
+SchedulePerturber::SchedulePerturber(Options O) : Opts(O) {}
+
+SchedulePerturber::~SchedulePerturber() { disarm(); }
+
+void SchedulePerturber::arm() {
+  ArmedSelf = true;
+  inject::setHook(&SchedulePerturber::trampoline, this);
+}
+
+void SchedulePerturber::disarm() {
+  if (!ArmedSelf)
+    return;
+  ArmedSelf = false;
+  inject::setHook(nullptr, nullptr);
+}
+
+void SchedulePerturber::trampoline(void *Ctx, inject::Site S) {
+  if (auto *Self = static_cast<SchedulePerturber *>(Ctx))
+    Self->perturb(S);
+}
+
+void SchedulePerturber::perturb(inject::Site S) {
+  const uint32_t Bit = static_cast<uint32_t>(S);
+  if ((Opts.SiteMask & (1u << Bit)) == 0)
+    return;
+  if (Stream.Owner != this) {
+    Stream.Owner = this;
+    Stream.Ordinal = NextOrdinal.fetch_add(1, std::memory_order_relaxed);
+    // SplitMix-style mix of (seed, ordinal) so neighbouring ordinals get
+    // uncorrelated streams.
+    Stream.Rng = Xoshiro256StarStar(
+        (Opts.Seed + 0x9e3779b97f4a7c15ULL) ^
+        ((static_cast<uint64_t>(Stream.Ordinal) + 1) * 0xbf58476d1ce4e5b9ULL));
+  }
+  Total.fetch_add(1, std::memory_order_relaxed);
+  PerSite[Bit].fetch_add(1, std::memory_order_relaxed);
+
+  const uint32_t Roll = static_cast<uint32_t>(Stream.Rng.nextBounded(100));
+  if (Roll < Opts.SleepPercent) {
+    const uint64_t Max = static_cast<uint64_t>(Opts.SleepMax.count());
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(1 + Stream.Rng.nextBounded(Max ? Max : 1)));
+  } else if (Roll < Opts.SleepPercent + Opts.YieldPercent) {
+    osYield();
+  } else if (Roll < Opts.SleepPercent + Opts.YieldPercent + Opts.SpinPercent) {
+    spinTier1(1 + static_cast<int>(Stream.Rng.nextBounded(
+                      static_cast<uint64_t>(Opts.SpinMax > 0 ? Opts.SpinMax
+                                                             : 1))));
+  }
+  // Remaining probability mass: fall straight through (keeps some windows
+  // at native width so fast-path interleavings stay represented).
+}

@@ -1,0 +1,97 @@
+//===- stress/SchedulePerturber.h - Seeded schedule noise -------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded perturber that installs itself on the injection-point hook
+/// (stress/InjectionPoint.h) and, at each fired site, pseudo-randomly
+/// yields the thread, burns a spin delay, or sleeps — stretching the
+/// nanosecond lock-word transition windows the protocols race through into
+/// microsecond-to-millisecond windows where adversarial interleavings
+/// (like a contender's FLC CAS landing inside a release window) actually
+/// happen.
+///
+/// Decision streams are reproducible: each thread draws from its own RNG
+/// seeded from (global seed, thread arrival ordinal), so a given seed
+/// replays the same per-thread decision sequence; the interleaving itself
+/// still depends on the OS scheduler, which is why the torture runner
+/// sweeps seeds rather than chasing one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_STRESS_SCHEDULEPERTURBER_H
+#define SOLERO_STRESS_SCHEDULEPERTURBER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "stress/InjectionPoint.h"
+
+namespace solero {
+namespace stress {
+
+/// Installs seeded delays at armed injection sites. Construct, arm(), run
+/// the scenario, join every participating thread, then disarm() (the
+/// destructor disarms too). One perturber may be armed at a time.
+class SchedulePerturber {
+public:
+  struct Options {
+    uint64_t Seed = 1;
+    /// Out of 100 firings: chance of an osYield() (the cheapest way to
+    /// force a different thread into the open window).
+    uint32_t YieldPercent = 35;
+    /// Chance of a bounded cpuRelax() spin (stretches the window without a
+    /// context switch — catches same-core SMT-style interleavings).
+    uint32_t SpinPercent = 30;
+    /// Chance of a real sleep (stretches the window by milliseconds; this
+    /// is what reliably lands a contender's CAS inside a release window).
+    uint32_t SleepPercent = 5;
+    /// Upper bound of the spin delay in cpuRelax() iterations.
+    int SpinMax = 4096;
+    /// Upper bound of the sleep delay.
+    std::chrono::microseconds SleepMax{200};
+    /// Bitmask of enabled sites (bit = static_cast<uint32_t>(Site)).
+    uint32_t SiteMask = 0xffffffffu;
+  };
+
+  explicit SchedulePerturber(Options O);
+  ~SchedulePerturber();
+
+  SchedulePerturber(const SchedulePerturber &) = delete;
+  SchedulePerturber &operator=(const SchedulePerturber &) = delete;
+
+  /// Installs this perturber as the process-wide injection hook.
+  void arm();
+
+  /// Uninstalls the hook. Call only after every thread that may fire a
+  /// site has been joined (or is known to be outside the protocols).
+  void disarm();
+
+  /// Total firings across all sites and threads.
+  uint64_t firings() const { return Total.load(std::memory_order_relaxed); }
+
+  /// Firings of one site.
+  uint64_t firings(inject::Site S) const {
+    return PerSite[static_cast<uint32_t>(S)].load(std::memory_order_relaxed);
+  }
+
+  const Options &options() const { return Opts; }
+
+private:
+  static void trampoline(void *Ctx, inject::Site S);
+  void perturb(inject::Site S);
+
+  Options Opts;
+  bool ArmedSelf = false;
+  std::atomic<uint64_t> Total{0};
+  std::atomic<uint32_t> NextOrdinal{0};
+  std::atomic<uint64_t> PerSite[inject::SiteCount] = {};
+};
+
+} // namespace stress
+} // namespace solero
+
+#endif // SOLERO_STRESS_SCHEDULEPERTURBER_H

@@ -1,0 +1,370 @@
+//===- stress/TortureRunner.cpp - Concurrency torture harness -------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stress/TortureRunner.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/SoleroLock.h"
+#include "locks/ReadWriteLock.h"
+#include "locks/SeqLock.h"
+#include "locks/TasukiLock.h"
+#include "runtime/SharedField.h"
+#include "support/Barrier.h"
+#include "support/Rng.h"
+#include "support/Stopwatch.h"
+
+using namespace solero;
+using namespace solero::stress;
+
+namespace {
+
+/// The guest exception some read sections complete with (Section 3.3's
+/// "genuine exception" leg): it must propagate out of a consistent section
+/// and be absorbed as a retry out of an inconsistent one.
+struct GuestBoom {};
+
+/// Shared torture state: the (A, -A) invariant pair plus the mutual
+/// exclusion token. Writers keep B == -A at all times *as observed under
+/// the lock*; an optimistic reader seeing A != -B read a torn snapshot.
+struct TortureState {
+  SharedField<int64_t> A{0};
+  SharedField<int64_t> B{0};
+  std::atomic<uint64_t> Token{0};
+};
+
+/// Per-thread oracle tallies, merged after the join.
+struct WorkerTally {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t GuestThrows = 0;
+  uint64_t ExclusionViolations = 0;
+  uint64_t TornSnapshots = 0;
+  uint64_t WatchdogTrips = 0;
+  uint64_t MaxOpMicros = 0;
+  uint64_t Entries = 0;
+  uint64_t Exits = 0;
+};
+
+/// The write-section body shared by every protocol adapter: claim the
+/// exclusion token, mutate the invariant pair, release the token. Any
+/// token mismatch means two threads were inside a "mutual exclusion"
+/// section at once.
+void writeBody(TortureState &S, uint64_t Tag, WorkerTally &T) {
+  ++T.Entries;
+  if (S.Token.exchange(Tag, std::memory_order_acq_rel) != 0)
+    ++T.ExclusionViolations;
+  int64_t V = S.A.read() + 1;
+  S.A.write(V);
+  S.B.write(-V);
+  if (S.Token.exchange(0, std::memory_order_acq_rel) != Tag)
+    ++T.ExclusionViolations;
+  ++T.Exits;
+}
+
+/// The read-section body: snapshot the pair (optionally completing with a
+/// guest exception). Consistency is judged by the caller after the
+/// protocol has validated the section.
+std::pair<int64_t, int64_t> readBody(TortureState &S, bool Throw) {
+  std::pair<int64_t, int64_t> P(S.A.read(), S.B.read());
+  if (Throw)
+    throw GuestBoom{};
+  return P;
+}
+
+// --- Protocol adapters ---------------------------------------------------
+// A thin uniform shape (read / write / finalStateClean) over the four
+// protocols so the worker loop is written once. Deliberately local: the
+// torture harness must not depend on the workload layer it is meant to
+// out-stress.
+
+class SoleroAdapter {
+public:
+  explicit SoleroAdapter(RuntimeContext &Ctx) : L(Ctx) {}
+
+  template <typename Fn> auto read(Fn &&F) {
+    return L.synchronizedReadOnly(H, [&](ReadGuard &) { return F(); });
+  }
+  template <typename Fn> void write(Fn &&F) {
+    L.synchronizedWrite(H, [&] { F(); });
+  }
+  bool finalStateClean() { return lockword::soleroIsFree(H.word().load()); }
+  static constexpr bool HasProtocolCounters = true;
+  static constexpr bool HasElision = true;
+
+private:
+  SoleroLock L;
+  ObjectHeader H;
+};
+
+class TasukiAdapter {
+public:
+  explicit TasukiAdapter(RuntimeContext &Ctx) : L(Ctx) {}
+
+  template <typename Fn> auto read(Fn &&F) {
+    return L.synchronizedReadOnly(H, [&](ReadGuard &) { return F(); });
+  }
+  template <typename Fn> void write(Fn &&F) {
+    L.synchronizedWrite(H, [&] { F(); });
+  }
+  bool finalStateClean() { return H.word().load() == 0; }
+  static constexpr bool HasProtocolCounters = true;
+  static constexpr bool HasElision = false;
+
+private:
+  TasukiLock L;
+  ObjectHeader H;
+};
+
+class RwAdapter {
+public:
+  explicit RwAdapter(RuntimeContext &Ctx) : L(Ctx) {}
+
+  template <typename Fn> auto read(Fn &&F) {
+    return L.synchronizedReadOnly([&](ReadGuard &) { return F(); });
+  }
+  template <typename Fn> void write(Fn &&F) {
+    L.synchronizedWrite([&] { F(); });
+  }
+  bool finalStateClean() { return L.readerCount() == 0; }
+  static constexpr bool HasProtocolCounters = true;
+  static constexpr bool HasElision = false;
+
+private:
+  ReadWriteLock L;
+};
+
+class SeqAdapter {
+public:
+  explicit SeqAdapter(RuntimeContext &) {}
+
+  template <typename Fn> auto read(Fn &&F) {
+    // readProtected retries internally, so a guest throw out of a torn
+    // execution must be absorbed here exactly like the elision engine
+    // absorbs it: genuine iff the snapshot was consistent.
+    for (;;) {
+      uint64_t V = L.readBegin();
+      try {
+        auto R = F();
+        if (!L.readRetry(V))
+          return R;
+      } catch (GuestBoom &) {
+        if (!L.readRetry(V))
+          throw;
+      }
+    }
+  }
+  template <typename Fn> void write(Fn &&F) { L.writeProtected(F); }
+  bool finalStateClean() { return (L.value() & 1) == 0; }
+  static constexpr bool HasProtocolCounters = false;
+  static constexpr bool HasElision = false;
+
+private:
+  SeqLock L;
+};
+
+/// The async-event storm: hammers every thread's poll flag at the
+/// configured period, forcing speculationCheckpoint() validations and
+/// SpeculationFault unwinds far more often than the production ticker.
+class AsyncStorm {
+public:
+  explicit AsyncStorm(std::chrono::microseconds Period) {
+    if (Period.count() <= 0)
+      return;
+    Worker = std::thread([this, Period] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        AsyncEventBus::postToAllThreads();
+        std::this_thread::sleep_for(Period);
+      }
+    });
+  }
+  ~AsyncStorm() {
+    if (!Worker.joinable())
+      return;
+    Stop.store(true, std::memory_order_release);
+    Worker.join();
+  }
+
+private:
+  std::atomic<bool> Stop{false};
+  std::thread Worker;
+};
+
+template <typename Adapter>
+TortureReport runWithAdapter(const TortureConfig &C) {
+  TortureReport R;
+  RuntimeContext Ctx(C.Runtime);
+  Adapter A(Ctx);
+  TortureState S;
+
+  const std::chrono::microseconds Budget =
+      C.ParkLatencyBudget.count() > 0 ? C.ParkLatencyBudget
+                                      : C.Runtime.ParkMicros;
+  const uint64_t BudgetNs =
+      static_cast<uint64_t>(Budget.count()) * 1000u;
+
+  SchedulePerturber::Options PO = C.Perturbation;
+  PO.Seed = C.Seed;
+  SchedulePerturber Perturber(PO);
+  if (C.Perturb)
+    Perturber.arm();
+
+  ProtocolCounters Before = ThreadRegistry::instance().totalCounters();
+
+  std::vector<WorkerTally> Tallies(static_cast<std::size_t>(C.Threads));
+  SpinBarrier Start(static_cast<uint32_t>(C.Threads) + 1);
+  std::vector<std::thread> Workers;
+  Workers.reserve(static_cast<std::size_t>(C.Threads));
+  {
+    AsyncStorm Storm(C.AsyncStormPeriod);
+    for (int T = 0; T < C.Threads; ++T)
+      Workers.emplace_back([&, T] {
+        WorkerTally &Tally = Tallies[static_cast<std::size_t>(T)];
+        Xoshiro256StarStar Rng(C.Seed * 0x9e3779b97f4a7c15ULL +
+                               static_cast<uint64_t>(T) + 1);
+        const uint64_t Tag = static_cast<uint64_t>(T) + 1;
+        Start.arriveAndWait();
+        for (uint64_t I = 0; I < C.IterationsPerThread; ++I) {
+          Stopwatch Op;
+          if (Rng.nextPercent(static_cast<unsigned>(C.WritePercent))) {
+            A.write([&] { writeBody(S, Tag, Tally); });
+            ++Tally.Writes;
+          } else {
+            bool Throw =
+                Rng.nextPercent(static_cast<unsigned>(C.GuestThrowPercent));
+            ++Tally.Entries;
+            try {
+              auto P = A.read([&] { return readBody(S, Throw); });
+              if (P.first != -P.second)
+                ++Tally.TornSnapshots;
+            } catch (GuestBoom &) {
+              // Genuine guest exception: the protocol validated the
+              // section's reads before letting it escape.
+              ++Tally.GuestThrows;
+            }
+            ++Tally.Exits;
+            ++Tally.Reads;
+          }
+          uint64_t Ns = Op.elapsedNs();
+          if (Ns / 1000u > Tally.MaxOpMicros)
+            Tally.MaxOpMicros = Ns / 1000u;
+          if (Ns >= BudgetNs)
+            ++Tally.WatchdogTrips;
+        }
+      });
+    Start.arriveAndWait();
+    for (auto &W : Workers)
+      W.join();
+    // Storm stops here, before the perturber disarms.
+  }
+  Perturber.disarm();
+  R.InjectionFirings = Perturber.firings();
+  R.WatchdogEnforced = C.EnforceWatchdog;
+
+  for (const WorkerTally &T : Tallies) {
+    R.Reads += T.Reads;
+    R.Writes += T.Writes;
+    R.GuestThrows += T.GuestThrows;
+    R.ExclusionViolations += T.ExclusionViolations;
+    R.TornSnapshots += T.TornSnapshots;
+    R.WatchdogTrips += T.WatchdogTrips;
+    if (T.MaxOpMicros > R.MaxOpMicros)
+      R.MaxOpMicros = T.MaxOpMicros;
+    if (T.Entries != T.Exits) {
+      R.CountersConserved = false;
+      R.Failure = "section entries != exits";
+    }
+  }
+
+  // Data conservation: every write incremented A exactly once.
+  if (S.A.read() != static_cast<int64_t>(R.Writes) ||
+      S.B.read() != -static_cast<int64_t>(R.Writes)) {
+    R.CountersConserved = false;
+    R.Failure = "lost or duplicated write (A != total writes)";
+  }
+
+  if constexpr (Adapter::HasProtocolCounters) {
+    ProtocolCounters After = ThreadRegistry::instance().totalCounters();
+    uint64_t WriteEntries = After.WriteEntries - Before.WriteEntries;
+    uint64_t ReadEntries = After.ReadOnlyEntries - Before.ReadOnlyEntries;
+    if (WriteEntries != R.Writes || ReadEntries != R.Reads) {
+      R.CountersConserved = false;
+      R.Failure = "entry counters != issued operations";
+    }
+    if constexpr (Adapter::HasElision) {
+      uint64_t Attempts = After.ElisionAttempts - Before.ElisionAttempts;
+      uint64_t Successes = After.ElisionSuccesses - Before.ElisionSuccesses;
+      uint64_t Failures = After.ElisionFailures - Before.ElisionFailures;
+      if (Attempts != Successes + Failures) {
+        R.CountersConserved = false;
+        R.Failure = "attempts != successes + failures";
+      }
+    }
+  }
+
+  if (!A.finalStateClean()) {
+    R.FinalStateClean = false;
+    if (R.Failure.empty())
+      R.Failure = "lock not released/deflated after the run";
+  }
+  return R;
+}
+
+} // namespace
+
+const char *solero::stress::tortureProtocolName(TortureProtocol P) {
+  switch (P) {
+  case TortureProtocol::Solero:
+    return "SOLERO";
+  case TortureProtocol::Tasuki:
+    return "Lock";
+  case TortureProtocol::SeqLock:
+    return "SeqLock";
+  case TortureProtocol::RWLock:
+    return "RWLock";
+  }
+  return "<unknown>";
+}
+
+RuntimeConfig solero::stress::adversarialTortureRuntime() {
+  RuntimeConfig C;
+  C.Tiers = SpinTiers{4, 2, 1};
+  C.ParkMicros = std::chrono::microseconds(25000);
+  C.AsyncEventPeriod = std::chrono::microseconds(0);
+  C.StartEventBus = false;
+  return C;
+}
+
+std::string TortureReport::summary() const {
+  std::string S = "reads=" + std::to_string(Reads) +
+                  " writes=" + std::to_string(Writes) +
+                  " throws=" + std::to_string(GuestThrows) +
+                  " excl=" + std::to_string(ExclusionViolations) +
+                  " torn=" + std::to_string(TornSnapshots) +
+                  " trips=" + std::to_string(WatchdogTrips) +
+                  " maxop_us=" + std::to_string(MaxOpMicros) +
+                  " firings=" + std::to_string(InjectionFirings);
+  if (!Failure.empty())
+    S += " FAIL(" + Failure + ")";
+  return S;
+}
+
+TortureReport solero::stress::runTorture(const TortureConfig &Config) {
+  switch (Config.Protocol) {
+  case TortureProtocol::Solero:
+    return runWithAdapter<SoleroAdapter>(Config);
+  case TortureProtocol::Tasuki:
+    return runWithAdapter<TasukiAdapter>(Config);
+  case TortureProtocol::SeqLock:
+    return runWithAdapter<SeqAdapter>(Config);
+  case TortureProtocol::RWLock:
+    return runWithAdapter<RwAdapter>(Config);
+  }
+  return TortureReport{};
+}

@@ -74,10 +74,10 @@ struct BenchResult {
   /// "throttles/disables/reprobes/re-enables" controller-transition
   /// summary for stats tables.
   std::string controllerTransitions() const {
-    return std::to_string(Delta.CtrlThrottles) + "/" +
-           std::to_string(Delta.CtrlDisables) + "/" +
-           std::to_string(Delta.CtrlReprobes) + "/" +
-           std::to_string(Delta.CtrlReenables);
+    return std::to_string(Delta.CtrlThrottles.value()) + "/" +
+           std::to_string(Delta.CtrlDisables.value()) + "/" +
+           std::to_string(Delta.CtrlReprobes.value()) + "/" +
+           std::to_string(Delta.CtrlReenables.value());
   }
 };
 
