@@ -1,0 +1,115 @@
+//===- bench/GuestPrograms.h - Named CSIR guest programs --------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest programs the bench and analysis tools share. Each builder
+/// returns a fresh module; the shapes are fixed so analyze_module's golden
+/// report and the ablation numbers describe the same bytecode.
+///
+///  - config:      the A3 guest — a configuration object read (sum of four
+///                 fields) and occasionally rewritten under its monitor.
+///  - snapshot:    the escape-analysis showcase — the reader allocates a
+///                 holder object *inside* the synchronized block, fills it,
+///                 and reads it back. Without escape analysis the two
+///                 putfields make the region Writing; with it the region
+///                 is ReadOnly and elides.
+///  - racyCounter: the seeded bug for the race detector — bump() writes
+///                 the counter field with no lock while total() reads it
+///                 under one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_BENCH_GUESTPROGRAMS_H
+#define SOLERO_BENCH_GUESTPROGRAMS_H
+
+#include "jit/MethodBuilder.h"
+
+namespace solero {
+namespace bench {
+
+/// readConfig(obj)     — synchronized { sum 4 fields }    (read-only)
+/// writeConfig(obj, v) — synchronized { update 4 fields } (writing)
+inline jit::Module buildConfigGuest() {
+  jit::Module M;
+  {
+    jit::MethodBuilder B("readConfig", 1, 2);
+    B.load(0).syncEnter();
+    B.load(0).getField(0);
+    B.load(0).getField(1).add();
+    B.load(0).getField(2).add();
+    B.load(0).getField(3).add();
+    B.store(1);
+    B.syncExit();
+    B.load(1).ret();
+    M.addMethod(B.take());
+  }
+  {
+    jit::MethodBuilder B("writeConfig", 2, 2);
+    B.load(0).syncEnter();
+    B.load(0).load(1).putField(0);
+    B.load(0).load(1).neg().putField(1);
+    B.load(0).load(1).putField(2);
+    B.load(0).load(1).neg().putField(3);
+    B.syncExit();
+    B.constant(0).ret();
+    M.addMethod(B.take());
+  }
+  return M;
+}
+
+/// snapshot(obj)        — synchronized { h = new; h.F0 = obj.F0;
+///                        h.F1 = obj.F1 + 1; result = h.F0 + h.F1 }
+/// writeConfig(obj, v)  — synchronized { update both fields }
+inline jit::Module buildSnapshotGuest() {
+  jit::Module M;
+  {
+    jit::MethodBuilder B("snapshot", 1, 3);
+    B.load(0).syncEnter();
+    B.newObject().store(1);
+    B.load(1).load(0).getField(0).putField(0);
+    B.load(1).load(0).getField(1).constant(1).add().putField(1);
+    B.load(1).getField(0).load(1).getField(1).add().store(2);
+    B.syncExit();
+    B.load(2).ret();
+    M.addMethod(B.take());
+  }
+  {
+    jit::MethodBuilder B("writeConfig", 2, 2);
+    B.load(0).syncEnter();
+    B.load(0).load(1).putField(0);
+    B.load(0).load(1).neg().putField(1);
+    B.syncExit();
+    B.constant(0).ret();
+    M.addMethod(B.take());
+  }
+  return M;
+}
+
+/// bump(obj)  — obj.F0 = obj.F0 + 1, no lock (the seeded race)
+/// total(obj) — synchronized { read obj.F0 }
+inline jit::Module buildRacyCounterGuest() {
+  jit::Module M;
+  {
+    jit::MethodBuilder B("bump", 1, 1);
+    B.load(0).load(0).getField(0).constant(1).add().putField(0);
+    B.constant(0).ret();
+    M.addMethod(B.take());
+  }
+  {
+    jit::MethodBuilder B("total", 1, 2);
+    B.load(0).syncEnter();
+    B.load(0).getField(0).store(1);
+    B.syncExit();
+    B.load(1).ret();
+    M.addMethod(B.take());
+  }
+  return M;
+}
+
+} // namespace bench
+} // namespace solero
+
+#endif // SOLERO_BENCH_GUESTPROGRAMS_H

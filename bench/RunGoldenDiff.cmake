@@ -1,0 +1,15 @@
+# Runs ${ANALYZER}, captures stdout, and diffs it against ${EXPECTED}.
+# Portable golden-file check (no shell pipelines in add_test).
+execute_process(COMMAND ${ANALYZER}
+                OUTPUT_VARIABLE ACTUAL
+                RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "${ANALYZER} exited with ${RC}")
+endif()
+file(READ ${EXPECTED} WANT)
+if(NOT ACTUAL STREQUAL WANT)
+  file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/analyze_module.actual "${ACTUAL}")
+  message(FATAL_ERROR "analyze_module output differs from ${EXPECTED}; "
+                      "actual output saved next to the test binary. If the "
+                      "change is intentional, regenerate the golden file.")
+endif()

@@ -14,9 +14,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
+#include "GuestPrograms.h"
 
 #include "jit/Interpreter.h"
-#include "jit/MethodBuilder.h"
 
 #include "support/Rng.h"
 
@@ -25,37 +25,6 @@ using namespace solero::jit;
 
 namespace {
 
-/// Guest program: a configuration object read under its monitor.
-///   readConfig(obj)      — synchronized { sum 4 fields }   (read-only)
-///   writeConfig(obj, v)  — synchronized { update 4 fields } (writing)
-Module buildGuest() {
-  Module M;
-  {
-    MethodBuilder B("readConfig", 1, 2);
-    B.load(0).syncEnter();
-    B.load(0).getField(0);
-    B.load(0).getField(1).add();
-    B.load(0).getField(2).add();
-    B.load(0).getField(3).add();
-    B.store(1);
-    B.syncExit();
-    B.load(1).ret();
-    M.addMethod(B.take());
-  }
-  {
-    MethodBuilder B("writeConfig", 2, 2);
-    B.load(0).syncEnter();
-    B.load(0).load(1).putField(0);
-    B.load(0).load(1).neg().putField(1);
-    B.load(0).load(1).putField(2);
-    B.load(0).load(1).neg().putField(3);
-    B.syncExit();
-    B.constant(0).ret();
-    M.addMethod(B.take());
-  }
-  return M;
-}
-
 struct GuestRunner {
   GuestRunner(RuntimeContext &Ctx, bool Conventional, DispatchMode Mode,
               uint64_t Seed)
@@ -63,7 +32,7 @@ struct GuestRunner {
     Interpreter::Options Opts;
     Opts.UseConventionalLocks = Conventional;
     Opts.Mode = Mode;
-    Interp = std::make_unique<Interpreter>(Ctx, buildGuest(), Opts);
+    Interp = std::make_unique<Interpreter>(Ctx, bench::buildConfigGuest(), Opts);
     Config = Interp->allocateObject();
     for (int T = 0; T < 64; ++T)
       *Rngs[T] = Xoshiro256StarStar(Seed + static_cast<uint64_t>(T));

@@ -146,7 +146,8 @@ int main() {
   I.reclassifyWithProfile();
   std::printf("after:  %s (%s)\n",
               regionKindName(I.classification().regions(RId)[0].Kind),
-              I.classification().regions(RId)[0].Reason.c_str());
+              regionReason(I.module(),
+                           I.classification().regions(RId)[0]).c_str());
 
   ProtocolCounters C = ThreadRegistry::instance().totalCounters();
   std::printf("\nelision attempts: %llu, successes: %llu\n",

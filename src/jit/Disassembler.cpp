@@ -57,8 +57,14 @@ std::string jit::disassemble(const Module &M, uint32_t Id,
           Classes->regionAt(Id, static_cast<uint32_t>(Pc));
       std::snprintf(Buf, sizeof(Buf), "        ; region [%u, %u) %s — %s\n",
                     R.Region.EnterPc + 1, R.Region.ExitPc,
-                    regionKindName(R.Kind), R.Reason.c_str());
+                    regionKindName(R.Kind), regionReason(M, R).c_str());
       Out += Buf;
+      // Secondary diagnostics (further blockers, benign-write notes).
+      for (std::size_t Di = 1; Di < R.Diags.size(); ++Di) {
+        std::snprintf(Buf, sizeof(Buf), "        ;   %s\n",
+                      renderDiagnostic(M, R.Diags[Di]).c_str());
+        Out += Buf;
+      }
     }
   }
   return Out;

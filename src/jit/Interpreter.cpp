@@ -150,7 +150,7 @@ Interpreter::Interpreter(RuntimeContext &Ctx, Module Mod_, Options Opts)
       MaxFrame = Facts[Id].FrameSlots;
   }
   ArenaSlots = static_cast<std::size_t>(MaxCallDepth) * MaxFrame;
-  Classes = classifyModule(Mod, nullptr);
+  Classes = classifyModule(Mod, nullptr, Opts.Classifier);
   Prof.Counts.resize(Mod.methodCount());
   for (uint32_t Id = 0; Id < Mod.methodCount(); ++Id)
     Prof.Counts[Id].assign(Mod.method(Id).Code.size(), 0);
@@ -183,7 +183,7 @@ void Interpreter::retranslate() {
 }
 
 void Interpreter::reclassifyWithProfile() {
-  Classes = classifyModule(Mod, &Prof);
+  Classes = classifyModule(Mod, &Prof, Opts.Classifier);
   rebuildRegionTables();
   retranslate();
 }
@@ -453,7 +453,9 @@ std::optional<Value> Interpreter::execRange(ExecCtx &EC, Frame &F, uint32_t Pc,
       GuestObject *Obj = PopRef();
       if (!Obj)
         throwGuest(GuestErrorKind::NullPointer);
-      beforeWriteEffect(EC);
+      // Benign writes target region-local allocations; no upgrade needed.
+      if (!Classes.writeIsBenign(F.MethodId, Pc))
+        beforeWriteEffect(EC);
       Obj->F[static_cast<std::size_t>(I.A)].write(V);
       break;
     }
@@ -469,7 +471,8 @@ std::optional<Value> Interpreter::execRange(ExecCtx &EC, Frame &F, uint32_t Pc,
       GuestObject *Obj = PopRef();
       if (!Obj)
         throwGuest(GuestErrorKind::NullPointer);
-      beforeWriteEffect(EC);
+      if (!Classes.writeIsBenign(F.MethodId, Pc))
+        beforeWriteEffect(EC);
       Obj->R[static_cast<std::size_t>(I.A)].write(V);
       break;
     }
@@ -500,7 +503,8 @@ std::optional<Value> Interpreter::execRange(ExecCtx &EC, Frame &F, uint32_t Pc,
         throwGuest(GuestErrorKind::NullPointer);
       if (Idx < 0 || Idx >= Arr->Len)
         throwGuest(GuestErrorKind::ArrayIndexOutOfBounds);
-      beforeWriteEffect(EC);
+      if (!Classes.writeIsBenign(F.MethodId, Pc))
+        beforeWriteEffect(EC);
       Arr->Elems[static_cast<std::size_t>(Idx)].write(V);
       break;
     }
@@ -804,7 +808,9 @@ VmDispatch:
     GuestObject *Obj = (--Sp)->asRef();
     if (!Obj)
       throwGuest(GuestErrorKind::NullPointer);
-    beforeWriteEffect(EC);
+    // Bit 0 of B marks a benign write (region-local target): no upgrade.
+    if (!(I->B & 1u))
+      beforeWriteEffect(EC);
     Obj->F[static_cast<std::size_t>(I->A)].write(V);
     VM_NEXT();
   }
@@ -820,7 +826,8 @@ VmDispatch:
     GuestObject *Obj = (--Sp)->asRef();
     if (!Obj)
       throwGuest(GuestErrorKind::NullPointer);
-    beforeWriteEffect(EC);
+    if (!(I->B & 1u))
+      beforeWriteEffect(EC);
     Obj->R[static_cast<std::size_t>(I->A)].write(V);
     VM_NEXT();
   }
@@ -854,7 +861,8 @@ VmDispatch:
       throwGuest(GuestErrorKind::NullPointer);
     if (Idx < 0 || Idx >= Arr->Len)
       throwGuest(GuestErrorKind::ArrayIndexOutOfBounds);
-    beforeWriteEffect(EC);
+    if (!(I->B & 1u))
+      beforeWriteEffect(EC);
     Arr->Elems[static_cast<std::size_t>(Idx)].write(V);
     VM_NEXT();
   }

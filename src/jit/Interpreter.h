@@ -150,6 +150,8 @@ public:
     bool FuseSuperinstructions = true;
     /// Protocol configuration for SOLERO-mode regions.
     SoleroConfig Solero;
+    /// Static-analysis knobs for region classification (ablation).
+    ClassifierOptions Classifier;
   };
 
   Interpreter(RuntimeContext &Ctx, Module Mod, Options Opts);

@@ -6,6 +6,11 @@
 
 #include "jit/ReadOnlyClassifier.h"
 
+#include <algorithm>
+#include <optional>
+
+#include "jit/analysis/EscapeAnalysis.h"
+
 using namespace solero;
 using namespace solero::jit;
 
@@ -29,52 +34,15 @@ const ClassifiedRegion &ClassifiedModule::regionAt(uint32_t MethodId,
   SOLERO_UNREACHABLE("no classified region at this pc");
 }
 
-std::vector<uint64_t> jit::computeLiveIn(const Module &M, uint32_t Id) {
-  const Method &Fn = M.method(Id);
-  SOLERO_CHECK(Fn.NumLocals <= 64, "liveness supports at most 64 locals");
-  const std::size_t N = Fn.Code.size();
-  std::vector<uint64_t> LiveIn(N, 0);
-
-  // Iterate to a fixed point; CSIR methods are small, so the quadratic
-  // worst case is irrelevant.
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (std::size_t Pc = N; Pc-- > 0;) {
-      const Instruction &I = Fn.Code[Pc];
-      uint64_t Out = 0;
-      auto Succ = [&](std::size_t S) {
-        if (S < N)
-          Out |= LiveIn[S];
-      };
-      switch (I.Op) {
-      case Opcode::Jump:
-        Succ(static_cast<std::size_t>(I.A));
-        break;
-      case Opcode::JumpIfZero:
-      case Opcode::JumpIfNonZero:
-        Succ(static_cast<std::size_t>(I.A));
-        Succ(Pc + 1);
-        break;
-      case Opcode::Return:
-      case Opcode::Throw:
-        break; // no successors
-      default:
-        Succ(Pc + 1);
-        break;
-      }
-      uint64_t In = Out;
-      if (I.Op == Opcode::Store)
-        In &= ~(1ULL << I.A); // def kills
-      if (I.Op == Opcode::Load)
-        In |= 1ULL << I.A; // use gens
-      if (In != LiveIn[Pc]) {
-        LiveIn[Pc] = In;
-        Changed = true;
-      }
-    }
+std::string jit::regionReason(const Module &M, const ClassifiedRegion &R) {
+  std::string S = renderDiagnostic(M, R.primary());
+  if (R.primary().Code == DiagCode::RareWrites) {
+    // Show which blocker the profile softened.
+    for (const Diagnostic &D : R.Diags)
+      if (diagBlocks(D.Code))
+        return S + " (" + renderDiagnostic(M, D) + ")";
   }
-  return LiveIn;
+  return S;
 }
 
 namespace {
@@ -128,9 +96,35 @@ private:
   std::vector<ClassifiedModule::PurityState> States;
 };
 
+/// The write/effect diagnostic for instruction \p I at \p Pc, assuming it
+/// was not proven benign.
+Diagnostic effectDiag(const Instruction &I, uint32_t Pc) {
+  Diagnostic D;
+  D.Pc = Pc;
+  D.Op = I.Op;
+  D.Operand = I.A;
+  switch (I.Op) {
+  case Opcode::PutField:
+  case Opcode::PutRef:
+    D.Code = DiagCode::HeapWrite;
+    break;
+  case Opcode::AStore:
+    D.Code = DiagCode::ArrayWrite;
+    break;
+  case Opcode::PutStatic:
+    D.Code = DiagCode::StaticWrite;
+    break;
+  default: // Print, NativeCall, monitor operations
+    D.Code = DiagCode::SideEffect;
+    break;
+  }
+  return D;
+}
+
 } // namespace
 
-ClassifiedModule jit::classifyModule(const Module &M, const Profile *P) {
+ClassifiedModule jit::classifyModule(const Module &M, const Profile *P,
+                                     const ClassifierOptions &Opts) {
   ClassifiedModule Out;
   Out.PerMethod.resize(M.methodCount());
   PurityAnalysis Purity(M);
@@ -142,7 +136,11 @@ ClassifiedModule jit::classifyModule(const Module &M, const Profile *P) {
     VerifiedMethod V = verifyMethod(M, Id);
     SOLERO_CHECK(V.Ok, "classifyModule requires a verified module");
     const Method &Fn = M.method(Id);
-    std::vector<uint64_t> LiveIn = computeLiveIn(M, Id);
+    std::vector<BitVec> LiveIn = computeLiveIn(M, Id);
+    std::optional<EscapeAnalysis> Esc;
+    if (Opts.EscapeAnalysis)
+      Esc.emplace(M, Id);
+    Out.BenignWrites.emplace_back(Fn.Code.size());
 
     for (const SyncRegion &R : V.Regions) {
       ClassifiedRegion C;
@@ -150,18 +148,19 @@ ClassifiedModule jit::classifyModule(const Module &M, const Profile *P) {
       // The annotations override the analysis (Section 3.2 / Section 5).
       if (Fn.AnnotatedReadOnly) {
         C.Kind = RegionKind::ReadOnly;
-        C.Reason = "@SoleroReadOnly annotation";
+        C.Diags.push_back({DiagCode::AnnotatedReadOnly});
         Out.PerMethod[Id].push_back(std::move(C));
         continue;
       }
       if (Fn.AnnotatedReadMostly) {
         C.Kind = RegionKind::ReadMostly;
-        C.Reason = "@SoleroReadMostly annotation";
+        C.Diags.push_back({DiagCode::AnnotatedReadMostly});
         Out.PerMethod[Id].push_back(std::move(C));
         continue;
       }
 
-      std::string Blocker;
+      std::vector<Diagnostic> Blockers; // pc order
+      std::vector<Diagnostic> Notes;    // FreshWrite, pc order
       uint64_t WriteExecutions = 0;
       bool NestedRegionSkip = false;
       // Live-local stores block elision even in read-mostly form: the
@@ -177,8 +176,7 @@ ClassifiedModule jit::classifyModule(const Module &M, const Profile *P) {
         // lock state).
         if (I.Op == Opcode::SyncEnter) {
           ++NestedDepth;
-          if (Blocker.empty())
-            Blocker = "nested synchronized block";
+          Blockers.push_back({DiagCode::NestedSync, Pc, I.Op, I.A});
           NestedRegionSkip = true;
           continue;
         }
@@ -189,49 +187,62 @@ ClassifiedModule jit::classifyModule(const Module &M, const Profile *P) {
         if (NestedDepth > 0)
           continue; // effects inside nested regions belong to them
         if (isWriteOrSideEffect(I.Op)) {
-          if (Blocker.empty())
-            Blocker = std::string("contains ") + opcodeName(I.Op);
+          // Escape analysis: a write to an object allocated inside this
+          // region that has not escaped touches thread-local memory only
+          // — allow it, and tell the engines to skip the upgrade hook.
+          if (Esc && (I.Op == Opcode::PutField || I.Op == Opcode::PutRef ||
+                      I.Op == Opcode::AStore)) {
+            if (Esc->writeIsRegionLocal(Pc, R)) {
+              Notes.push_back({DiagCode::FreshWrite, Pc, I.Op, I.A,
+                               Esc->writeBaseAllocPc(Pc)});
+              Out.BenignWrites[Id].set(Pc);
+              continue;
+            }
+            if (Esc->writeBaseEscaped(Pc)) {
+              Blockers.push_back({DiagCode::EscapingFreshWrite, Pc, I.Op,
+                                  I.A, Esc->writeBaseAllocPc(Pc)});
+              if (P)
+                WriteExecutions += P->count(Id, Pc);
+              continue;
+            }
+          }
+          Blockers.push_back(effectDiag(I, Pc));
           if (P)
             WriteExecutions += P->count(Id, Pc);
           continue;
         }
         if (I.Op == Opcode::Store &&
-            (LiveIn[R.EnterPc] >> I.A) & 1) {
-          if (Blocker.empty())
-            Blocker = "writes local live at region entry";
+            LiveIn[R.EnterPc].test(static_cast<std::size_t>(I.A))) {
+          Blockers.push_back({DiagCode::LiveLocalStore, Pc, I.Op, I.A});
           HardBlock = true;
           continue;
         }
         if (I.Op == Opcode::Invoke &&
             !Purity.isPure(static_cast<uint32_t>(I.A))) {
-          if (Blocker.empty())
-            Blocker = "invokes method not provably read-only: " +
-                      M.method(static_cast<uint32_t>(I.A)).Name;
+          Blockers.push_back({DiagCode::ImpureInvoke, Pc, I.Op, I.A});
           if (P)
             WriteExecutions += P->count(Id, Pc);
           continue;
         }
       }
 
-      if (Blocker.empty()) {
+      if (Blockers.empty()) {
         C.Kind = RegionKind::ReadOnly;
-        C.Reason = "no writes or side effects";
-      } else if (P && !NestedRegionSkip && !HardBlock) {
+        C.Diags.push_back({DiagCode::NoWritesOrSideEffects});
+      } else if (P && !NestedRegionSkip && !HardBlock &&
+                 P->count(Id, R.EnterPc) > 0 &&
+                 WriteExecutions * 10 < P->count(Id, R.EnterPc)) {
         // Section 5 heuristic: writes that execute on fewer than 10% of
         // region entries make the region read-mostly.
-        uint64_t Entries = P->count(Id, R.EnterPc);
-        if (Entries > 0 &&
-            WriteExecutions * 10 < Entries) {
-          C.Kind = RegionKind::ReadMostly;
-          C.Reason = "profile: rare writes (" + Blocker + ")";
-        } else {
-          C.Kind = RegionKind::Writing;
-          C.Reason = Blocker;
-        }
+        C.Kind = RegionKind::ReadMostly;
+        C.Diags.push_back({DiagCode::RareWrites});
       } else {
         C.Kind = RegionKind::Writing;
-        C.Reason = Blocker;
+        C.Diags.push_back(Blockers.front());
+        Blockers.erase(Blockers.begin());
       }
+      C.Diags.insert(C.Diags.end(), Blockers.begin(), Blockers.end());
+      C.Diags.insert(C.Diags.end(), Notes.begin(), Notes.end());
       Out.PerMethod[Id].push_back(std::move(C));
     }
   }

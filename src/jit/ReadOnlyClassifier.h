@@ -9,7 +9,10 @@
 /// read-only by looking for writes and side effects. A region is NOT
 /// read-only if it contains
 ///
-///  - writes to instance variables, reference fields, or statics;
+///  - writes to instance variables, reference fields, or statics — except
+///    writes the escape analysis proves target an object allocated inside
+///    the region that has not escaped (filling in a fresh result holder is
+///    as harmless as the allocation itself, which the paper permits);
 ///  - writes to local variables that are live at the beginning of the
 ///    critical section (computed by backward liveness analysis);
 ///  - invocations of methods, unless the callee is transitively provably
@@ -23,6 +26,11 @@
 /// analysis; the Section 5 extension classifies regions whose writes are
 /// dynamically rare (by profile) as read-mostly.
 ///
+/// Each verdict carries structured diagnostics (jit/analysis/Diagnostics.h)
+/// instead of a free-form string: every blocker and every allowed benign
+/// write is recorded with pc/operand provenance, and regionReason()
+/// renders the primary one for humans.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SOLERO_JIT_READONLYCLASSIFIER_H
@@ -33,6 +41,9 @@
 
 #include "jit/Program.h"
 #include "jit/Verifier.h"
+#include "jit/analysis/BitVec.h"
+#include "jit/analysis/Diagnostics.h"
+#include "jit/analysis/Liveness.h"
 
 namespace solero {
 namespace jit {
@@ -59,12 +70,31 @@ struct Profile {
   }
 };
 
+/// Static analysis knobs (ablation and tests; the defaults are what the
+/// engine uses).
+struct ClassifierOptions {
+  /// Allow writes to provably region-local allocations (escape analysis).
+  /// Off reproduces the plain Section 3.2 rule set.
+  bool EscapeAnalysis = true;
+};
+
 /// One classified synchronized region.
 struct ClassifiedRegion {
   SyncRegion Region;
   RegionKind Kind;
-  std::string Reason; ///< why the region was (not) elidable
+  /// Structured provenance: Diags[0] explains the verdict, the rest are
+  /// the remaining blockers and FreshWrite notes in pc order.
+  std::vector<Diagnostic> Diags;
+
+  const Diagnostic &primary() const {
+    SOLERO_CHECK(!Diags.empty(), "region without diagnostics");
+    return Diags.front();
+  }
 };
+
+/// Renders the region's primary diagnostic (plus the softened blocker for
+/// profile-driven read-mostly verdicts) — the human-readable "why".
+std::string regionReason(const Module &M, const ClassifiedRegion &R);
 
 /// Analysis results for a whole module.
 class ClassifiedModule {
@@ -87,21 +117,30 @@ public:
     return Purity[MethodId] == PurityState::Pure;
   }
 
+  /// True if the write at \p Pc provably targets a region-local
+  /// allocation: the engines skip the read-mostly upgrade hook for it.
+  bool writeIsBenign(uint32_t MethodId, uint32_t Pc) const {
+    if (MethodId >= BenignWrites.size() ||
+        Pc >= BenignWrites[MethodId].size())
+      return false;
+    return BenignWrites[MethodId].test(Pc);
+  }
+
 private:
-  friend ClassifiedModule classifyModule(const Module &M, const Profile *P);
+  friend ClassifiedModule classifyModule(const Module &M, const Profile *P,
+                                         const ClassifierOptions &Opts);
   std::vector<std::vector<ClassifiedRegion>> PerMethod;
   std::vector<PurityState> Purity;
+  std::vector<BitVec> BenignWrites; ///< per method, bit per pc
 };
 
 /// Classifies every synchronized region in \p M. \p P, when provided,
 /// enables the profile-guided read-mostly classification: a region with
 /// writes or side effects whose dynamic write frequency is below 10% of
-/// the region's entry count becomes ReadMostly. The module must verify.
-ClassifiedModule classifyModule(const Module &M, const Profile *P = nullptr);
-
-/// Backward liveness: the set of locals (as a bitmask, NumLocals <= 64)
-/// live at the entry of each instruction of method \p Id.
-std::vector<uint64_t> computeLiveIn(const Module &M, uint32_t Id);
+/// the region's entry count becomes ReadMostly (benign writes do not
+/// count against the threshold). The module must verify.
+ClassifiedModule classifyModule(const Module &M, const Profile *P = nullptr,
+                                const ClassifierOptions &Opts = {});
 
 } // namespace jit
 } // namespace solero

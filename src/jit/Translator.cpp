@@ -125,7 +125,14 @@ TranslatedMethod translateMethod(const Module &M, uint32_t Id,
       Emit(TOp::SyncEnter, static_cast<int32_t>(R.Region.ExitPc),
            static_cast<uint16_t>(R.Kind), Pc);
     } else {
-      Emit(static_cast<TOp>(I.Op), I.A, 0, Pc);
+      // Benign writes (to provably region-local allocations) carry bit 0
+      // of B so the engine skips the read-mostly upgrade hook for them.
+      uint16_t B = 0;
+      if ((I.Op == Opcode::PutField || I.Op == Opcode::PutRef ||
+           I.Op == Opcode::AStore) &&
+          Classes.writeIsBenign(Id, Pc))
+        B = 1;
+      Emit(static_cast<TOp>(I.Op), I.A, B, Pc);
     }
     ++Pc;
   }

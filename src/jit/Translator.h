@@ -108,6 +108,8 @@ const char *tOpName(TOp Op);
 ///  - branches (fused or not): bit 0 of B set = back edge (poll site);
 ///  - SyncEnter: B = RegionKind inline cache (cast), A = stream offset of
 ///    the instruction after the matching SyncExit;
+///  - PutField/PutRef/AStore: bit 0 of B set = benign write (the escape
+///    analysis proved the target region-local), skip the upgrade hook;
 ///  - LoadGetField: B = local slot, A = integer field index.
 struct TInst {
   uint16_t Op; ///< a TOp

@@ -1,0 +1,86 @@
+//===- jit/analysis/BitVec.h - Dynamic bitset for dataflow ------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small dynamic bitset used as the lattice element of the bit-vector
+/// dataflow problems (liveness, benign-write facts). Unlike the former
+/// uint64_t masks this has no 64-element ceiling, so methods with more
+/// than 64 locals analyze correctly instead of tripping a hard check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ANALYSIS_BITVEC_H
+#define SOLERO_JIT_ANALYSIS_BITVEC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/Assert.h"
+
+namespace solero {
+namespace jit {
+
+class BitVec {
+public:
+  BitVec() = default;
+  explicit BitVec(std::size_t NumBits)
+      : NumBits(NumBits), Words((NumBits + 63) / 64, 0) {}
+
+  std::size_t size() const { return NumBits; }
+
+  bool test(std::size_t Bit) const {
+    SOLERO_CHECK(Bit < NumBits, "BitVec index out of range");
+    return (Words[Bit / 64] >> (Bit % 64)) & 1u;
+  }
+  void set(std::size_t Bit) {
+    SOLERO_CHECK(Bit < NumBits, "BitVec index out of range");
+    Words[Bit / 64] |= 1ULL << (Bit % 64);
+  }
+  void reset(std::size_t Bit) {
+    SOLERO_CHECK(Bit < NumBits, "BitVec index out of range");
+    Words[Bit / 64] &= ~(1ULL << (Bit % 64));
+  }
+
+  /// this |= O; returns true if any bit changed.
+  bool unionWith(const BitVec &O) {
+    SOLERO_CHECK(NumBits == O.NumBits, "BitVec size mismatch");
+    bool Changed = false;
+    for (std::size_t W = 0; W < Words.size(); ++W) {
+      uint64_t New = Words[W] | O.Words[W];
+      Changed |= New != Words[W];
+      Words[W] = New;
+    }
+    return Changed;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W != 0)
+        return true;
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t N = 0;
+    for (uint64_t W : Words)
+      N += static_cast<std::size_t>(__builtin_popcountll(W));
+    return N;
+  }
+
+  bool operator==(const BitVec &O) const {
+    return NumBits == O.NumBits && Words == O.Words;
+  }
+  bool operator!=(const BitVec &O) const { return !(*this == O); }
+
+private:
+  std::size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ANALYSIS_BITVEC_H

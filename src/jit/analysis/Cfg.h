@@ -1,0 +1,68 @@
+//===- jit/analysis/Cfg.h - CSIR control-flow structure ---------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Successor/predecessor structure of a CSIR method, shared by every
+/// dataflow pass. The CFG is per-instruction (the verifier's view): each
+/// pc is a node, and edges follow the opcode semantics — Jump goes to its
+/// target, conditional jumps to target and fall-through, Return/Throw have
+/// no successors, everything else falls through.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ANALYSIS_CFG_H
+#define SOLERO_JIT_ANALYSIS_CFG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "jit/Program.h"
+
+namespace solero {
+namespace jit {
+
+/// Calls \p Fn(SuccPc) for every control-flow successor of \p Pc.
+/// Successors past the end of the method are dropped (the verifier rejects
+/// them; analyses may run pre-verification for diagnostics).
+template <typename F>
+void forEachSuccessor(const Method &Fn, uint32_t Pc, F &&Callback) {
+  const std::size_t N = Fn.Code.size();
+  const Instruction &I = Fn.Code[Pc];
+  auto Emit = [&](std::size_t S) {
+    if (S < N)
+      Callback(static_cast<uint32_t>(S));
+  };
+  switch (I.Op) {
+  case Opcode::Jump:
+    Emit(static_cast<std::size_t>(I.A));
+    break;
+  case Opcode::JumpIfZero:
+  case Opcode::JumpIfNonZero:
+    Emit(static_cast<std::size_t>(I.A));
+    Emit(Pc + 1);
+    break;
+  case Opcode::Return:
+  case Opcode::Throw:
+    break; // no successors
+  default:
+    Emit(Pc + 1);
+    break;
+  }
+}
+
+/// Predecessor lists for every pc of \p Fn (built once, used by forward
+/// worklist passes to re-enqueue efficiently).
+inline std::vector<std::vector<uint32_t>> buildPredecessors(const Method &Fn) {
+  std::vector<std::vector<uint32_t>> Preds(Fn.Code.size());
+  for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc)
+    forEachSuccessor(Fn, Pc, [&](uint32_t S) { Preds[S].push_back(Pc); });
+  return Preds;
+}
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ANALYSIS_CFG_H

@@ -1,0 +1,127 @@
+//===- jit/analysis/Dataflow.h - Worklist dataflow engine -------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable forward/backward dataflow engine over the verifier's
+/// per-instruction CFG. A pass supplies a *domain*:
+///
+/// \code
+///   struct MyDomain {
+///     using State = ...;           // lattice element
+///     State bottom() const;        // unreached / identity for join
+///     State boundary() const;      // entry (forward) or exit (backward)
+///     // Into |= From; true if Into changed.
+///     bool join(State &Into, const State &From) const;
+///     // Forward: state before Pc -> state after. Backward: state after
+///     // Pc -> state before.
+///     void transfer(uint32_t Pc, const Instruction &I, State &S) const;
+///   };
+/// \endcode
+///
+/// Both directions return the fixed-point state at the *entry* of every
+/// instruction (before it executes) — the form liveness and escape facts
+/// are consumed in. The engine is a chaotic-iteration worklist: CSIR
+/// methods are small, so no priority ordering is needed for convergence
+/// speed, only for determinism (the deque is FIFO and seeded in pc order,
+/// making results reproducible).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ANALYSIS_DATAFLOW_H
+#define SOLERO_JIT_ANALYSIS_DATAFLOW_H
+
+#include <deque>
+#include <vector>
+
+#include "jit/analysis/Cfg.h"
+
+namespace solero {
+namespace jit {
+
+/// Forward dataflow over \p Fn. In[0] = boundary; unreachable code keeps
+/// bottom. Returns the entry state of every pc.
+template <typename Domain>
+std::vector<typename Domain::State> runForwardDataflow(const Method &Fn,
+                                                       const Domain &D) {
+  const std::size_t N = Fn.Code.size();
+  std::vector<typename Domain::State> In(N, D.bottom());
+  if (N == 0)
+    return In;
+  std::vector<bool> Reached(N, false), Queued(N, false);
+  In[0] = D.boundary();
+  Reached[0] = true;
+  std::deque<uint32_t> Worklist{0};
+  Queued[0] = true;
+  while (!Worklist.empty()) {
+    uint32_t Pc = Worklist.front();
+    Worklist.pop_front();
+    Queued[Pc] = false;
+    typename Domain::State Out = In[Pc];
+    D.transfer(Pc, Fn.Code[Pc], Out);
+    forEachSuccessor(Fn, Pc, [&](uint32_t S) {
+      bool Changed;
+      if (!Reached[S]) {
+        In[S] = Out;
+        Reached[S] = true;
+        Changed = true;
+      } else {
+        Changed = D.join(In[S], Out);
+      }
+      if (Changed && !Queued[S]) {
+        Worklist.push_back(S);
+        Queued[S] = true;
+      }
+    });
+  }
+  return In;
+}
+
+/// Backward dataflow over \p Fn. Instructions without successors (Return,
+/// Throw, the last instruction) see the boundary state after them; every
+/// pc is seeded so unreachable code converges too. Returns the entry state
+/// of every pc (i.e. after applying the pc's own transfer).
+template <typename Domain>
+std::vector<typename Domain::State> runBackwardDataflow(const Method &Fn,
+                                                        const Domain &D) {
+  const std::size_t N = Fn.Code.size();
+  std::vector<typename Domain::State> In(N, D.bottom());
+  if (N == 0)
+    return In;
+  std::vector<std::vector<uint32_t>> Preds = buildPredecessors(Fn);
+  std::vector<bool> Queued(N, true);
+  // Reverse pc order converges in one pass for loop-free code.
+  std::deque<uint32_t> Worklist;
+  for (std::size_t Pc = N; Pc-- > 0;)
+    Worklist.push_back(static_cast<uint32_t>(Pc));
+  while (!Worklist.empty()) {
+    uint32_t Pc = Worklist.front();
+    Worklist.pop_front();
+    Queued[Pc] = false;
+    bool HasSucc = false;
+    typename Domain::State Out = D.bottom();
+    forEachSuccessor(Fn, Pc, [&](uint32_t S) {
+      HasSucc = true;
+      D.join(Out, In[S]);
+    });
+    if (!HasSucc)
+      Out = D.boundary();
+    D.transfer(Pc, Fn.Code[Pc], Out);
+    if (Out != In[Pc]) {
+      In[Pc] = std::move(Out);
+      for (uint32_t P : Preds[Pc])
+        if (!Queued[P]) {
+          Worklist.push_back(P);
+          Queued[P] = true;
+        }
+    }
+  }
+  return In;
+}
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ANALYSIS_DATAFLOW_H

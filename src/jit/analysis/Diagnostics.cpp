@@ -1,0 +1,98 @@
+//===- jit/analysis/Diagnostics.cpp - Elidability diagnostics -------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/analysis/Diagnostics.h"
+
+#include <cstdio>
+
+using namespace solero;
+using namespace solero::jit;
+
+bool jit::diagBlocks(DiagCode Code) {
+  switch (Code) {
+  case DiagCode::AnnotatedReadOnly:
+  case DiagCode::AnnotatedReadMostly:
+  case DiagCode::NoWritesOrSideEffects:
+  case DiagCode::RareWrites:
+  case DiagCode::FreshWrite:
+    return false;
+  case DiagCode::NestedSync:
+  case DiagCode::HeapWrite:
+  case DiagCode::ArrayWrite:
+  case DiagCode::StaticWrite:
+  case DiagCode::SideEffect:
+  case DiagCode::LiveLocalStore:
+  case DiagCode::ImpureInvoke:
+  case DiagCode::EscapingFreshWrite:
+    return true;
+  }
+  SOLERO_UNREACHABLE("bad DiagCode");
+}
+
+std::string jit::renderDiagnostic(const Module &M, const Diagnostic &D) {
+  char Buf[256];
+  switch (D.Code) {
+  case DiagCode::AnnotatedReadOnly:
+    return "@SoleroReadOnly annotation";
+  case DiagCode::AnnotatedReadMostly:
+    return "@SoleroReadMostly annotation";
+  case DiagCode::NoWritesOrSideEffects:
+    return "no writes or side effects";
+  case DiagCode::RareWrites:
+    return "profile: rare writes";
+  case DiagCode::NestedSync:
+    std::snprintf(Buf, sizeof(Buf), "nested synchronized block at pc %u",
+                  D.Pc);
+    return Buf;
+  case DiagCode::HeapWrite:
+    std::snprintf(Buf, sizeof(Buf),
+                  "contains %s to %s[%d] at pc %u; writes shared state — "
+                  "move the write out of the region or profile it rare",
+                  opcodeName(D.Op), D.Op == Opcode::PutRef ? "R" : "F",
+                  D.Operand, D.Pc);
+    return Buf;
+  case DiagCode::ArrayWrite:
+    std::snprintf(Buf, sizeof(Buf),
+                  "contains astore at pc %u (array element write)", D.Pc);
+    return Buf;
+  case DiagCode::StaticWrite:
+    std::snprintf(Buf, sizeof(Buf), "contains putstatic to S[%d] at pc %u",
+                  D.Operand, D.Pc);
+    return Buf;
+  case DiagCode::SideEffect:
+    std::snprintf(Buf, sizeof(Buf),
+                  "contains %s at pc %u (observable side effect)",
+                  opcodeName(D.Op), D.Pc);
+    return Buf;
+  case DiagCode::LiveLocalStore:
+    std::snprintf(Buf, sizeof(Buf),
+                  "writes local %d live at region entry at pc %u; "
+                  "re-execution would observe the clobbered value",
+                  D.Operand, D.Pc);
+    return Buf;
+  case DiagCode::ImpureInvoke:
+    std::snprintf(Buf, sizeof(Buf),
+                  "invokes method not provably read-only: %s at pc %u; "
+                  "annotate @SoleroReadOnly to override",
+                  M.method(static_cast<uint32_t>(D.Operand)).Name.c_str(),
+                  D.Pc);
+    return Buf;
+  case DiagCode::EscapingFreshWrite:
+    std::snprintf(Buf, sizeof(Buf),
+                  "write at pc %u to escaping object from pc %u; keep the "
+                  "allocation region-local or annotate @SoleroReadOnly to "
+                  "override",
+                  D.Pc, D.AllocPc);
+    return Buf;
+  case DiagCode::FreshWrite:
+    std::snprintf(Buf, sizeof(Buf),
+                  "write at pc %u to non-escaping allocation from pc %u "
+                  "(allowed)",
+                  D.Pc, D.AllocPc);
+    return Buf;
+  }
+  SOLERO_UNREACHABLE("bad DiagCode");
+}

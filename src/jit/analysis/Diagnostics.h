@@ -1,0 +1,76 @@
+//===- jit/analysis/Diagnostics.h - Elidability diagnostics -----*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured elidability diagnostics. The classifier used to explain its
+/// verdicts with free-form strings; tools (the disassembler, the
+/// analyze_module report, tests) now get a typed record — code, pc, the
+/// offending operand (field index / local slot / callee id), and for
+/// escape-analysis verdicts the allocation site — and render it on demand
+/// with a fix hint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ANALYSIS_DIAGNOSTICS_H
+#define SOLERO_JIT_ANALYSIS_DIAGNOSTICS_H
+
+#include <cstdint>
+#include <string>
+
+#include "jit/Program.h"
+
+namespace solero {
+namespace jit {
+
+/// Why a region was (or was not) classified elidable.
+enum class DiagCode : uint8_t {
+  // Positive verdicts (the region elides).
+  AnnotatedReadOnly,     ///< @SoleroReadOnly override
+  AnnotatedReadMostly,   ///< @SoleroReadMostly override
+  NoWritesOrSideEffects, ///< the Section 3.2 proof succeeded
+  RareWrites,            ///< Section 5 profile heuristic (read-mostly)
+
+  // Blockers (why the region locks conventionally).
+  NestedSync,        ///< nested synchronized block (Pc = inner SyncEnter)
+  HeapWrite,         ///< putfield/putref to shared state (Operand = field)
+  ArrayWrite,        ///< astore to an array element
+  StaticWrite,       ///< putstatic (Operand = static cell)
+  SideEffect,        ///< print/nativecall/monitor op (Op says which)
+  LiveLocalStore,    ///< store to a local live at region entry (Operand)
+  ImpureInvoke,      ///< callee not provably pure (Operand = method id)
+  EscapingFreshWrite,///< write to in-region allocation that escapes first
+                     ///< (Operand = field, AllocPc = allocation site)
+
+  // Notes (do not affect the verdict).
+  FreshWrite, ///< write to a non-escaping in-region allocation — allowed
+              ///< (Operand = field, AllocPc = allocation site)
+};
+
+/// Sentinel for "no associated pc".
+inline constexpr uint32_t DiagNoPc = ~0u;
+
+/// One diagnostic. Which fields are meaningful depends on Code (see the
+/// enum); Operand is a field/static index, local slot, or callee method
+/// id, and AllocPc the allocation site for escape-analysis verdicts.
+struct Diagnostic {
+  DiagCode Code;
+  uint32_t Pc = DiagNoPc;
+  Opcode Op = Opcode::Const; ///< offending opcode for write/effect codes
+  int32_t Operand = -1;
+  uint32_t AllocPc = DiagNoPc;
+};
+
+/// True if this code forbids elision (as opposed to a verdict or note).
+bool diagBlocks(DiagCode Code);
+
+/// Renders \p D as "what happened at which pc; fix hint". Needs the module
+/// for callee names.
+std::string renderDiagnostic(const Module &M, const Diagnostic &D);
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ANALYSIS_DIAGNOSTICS_H

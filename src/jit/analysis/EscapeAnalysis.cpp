@@ -1,0 +1,316 @@
+//===- jit/analysis/EscapeAnalysis.cpp - In-region allocation facts -------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/analysis/EscapeAnalysis.h"
+
+#include <utility>
+
+#include "jit/analysis/Dataflow.h"
+
+using namespace solero;
+using namespace solero::jit;
+
+const char *jit::escapeWayName(EscapeWay Way) {
+  switch (Way) {
+  case EscapeWay::StoredToHeap:
+    return "stored to the heap";
+  case EscapeWay::InvokeArg:
+    return "passed to a callee";
+  case EscapeWay::MonitorOp:
+    return "used as a monitor";
+  case EscapeWay::NativeOp:
+    return "passed to native code";
+  case EscapeWay::Returned:
+    return "returned";
+  }
+  SOLERO_UNREACHABLE("bad EscapeWay");
+}
+
+namespace {
+
+/// Abstract reference value: bit i = "may be the allocation from tracked
+/// site i"; bit 63 = "may be anything external" (a parameter, a loaded
+/// ref, a callee result, or an allocation past the tracking cap).
+/// Integers carry mask 0, which also reads as "not provably fresh".
+constexpr uint64_t Ext = 1ULL << 63;
+constexpr std::size_t MaxSites = 63;
+
+struct EscState {
+  std::vector<uint64_t> Locals;
+  std::vector<uint64_t> Stack;
+  uint64_t Escaped = 0; ///< sites that escaped on some path to here
+  bool Reached = false; ///< distinguishes bottom from a reached empty state
+};
+
+struct EscapeDomain {
+  using State = EscState;
+  const Module &M;
+  const Method &Fn;
+  /// Site index per pc (-1 = not an allocation or past the cap).
+  std::vector<int32_t> SiteAt;
+  /// Set only during the post-fixpoint reporting pass.
+  std::map<uint32_t, EscapeAnalysis::EscapeEvent> *Events = nullptr;
+
+  State bottom() const { return {}; }
+  State boundary() const {
+    State S;
+    // Parameters may alias anything the caller holds; non-parameter
+    // locals start zeroed, but EXT for all slots is equally sound and
+    // keeps the boundary uniform.
+    S.Locals.assign(Fn.NumLocals, Ext);
+    S.Reached = true;
+    return S;
+  }
+
+  bool join(State &Into, const State &From) const {
+    bool Changed = false;
+    auto Merge = [&](uint64_t &A, uint64_t B) {
+      if ((A | B) != A) {
+        A |= B;
+        Changed = true;
+      }
+    };
+    for (std::size_t I = 0; I < Into.Locals.size() && I < From.Locals.size();
+         ++I)
+      Merge(Into.Locals[I], From.Locals[I]);
+    // The verifier guarantees equal stack heights at joins; tolerate
+    // unverified code by merging the common prefix.
+    if (From.Stack.size() < Into.Stack.size()) {
+      Into.Stack.resize(From.Stack.size());
+      Changed = true;
+    }
+    for (std::size_t I = 0; I < Into.Stack.size(); ++I)
+      Merge(Into.Stack[I], From.Stack[I]);
+    Merge(Into.Escaped, From.Escaped);
+    if (From.Reached && !Into.Reached) {
+      Into.Reached = true;
+      Changed = true;
+    }
+    return Changed;
+  }
+
+  void transfer(uint32_t Pc, const Instruction &I, State &S) const {
+    auto Push = [&](uint64_t V) { S.Stack.push_back(V); };
+    auto Pop = [&]() -> uint64_t {
+      if (S.Stack.empty())
+        return Ext; // unverified underflow; stay conservative
+      uint64_t V = S.Stack.back();
+      S.Stack.pop_back();
+      return V;
+    };
+    auto Escape = [&](uint64_t V, EscapeWay Way) {
+      uint64_t Sites = V & ~Ext;
+      if (!Sites)
+        return;
+      S.Escaped |= Sites;
+      if (Events)
+        for (std::size_t B = 0; B < MaxSites; ++B)
+          if (Sites & (1ULL << B))
+            for (uint32_t A = 0; A < SiteAt.size(); ++A)
+              if (SiteAt[A] == static_cast<int32_t>(B))
+                Events->emplace(A, EscapeAnalysis::EscapeEvent{Pc, Way});
+    };
+
+    switch (I.Op) {
+    case Opcode::Const:
+    case Opcode::GetStatic:
+      Push(0);
+      break;
+    case Opcode::PushNull:
+      Push(0); // null is not a trackable allocation and cannot escape
+      break;
+    case Opcode::NewObject:
+      Push(SiteAt[Pc] >= 0 ? 1ULL << SiteAt[Pc] : Ext);
+      break;
+    case Opcode::NewArray: // pops length, pushes the array
+      Pop();
+      Push(SiteAt[Pc] >= 0 ? 1ULL << SiteAt[Pc] : Ext);
+      break;
+    case Opcode::PutStatic: // int cell; the value cannot be a ref
+    case Opcode::Pop:
+    case Opcode::Print:
+    case Opcode::Throw: // pops the error code
+      Pop();
+      break;
+    case Opcode::MonitorWait:
+    case Opcode::MonitorNotify:
+    case Opcode::MonitorNotifyAll:
+      Escape(Pop(), EscapeWay::MonitorOp);
+      break;
+    case Opcode::SyncEnter:
+      Escape(Pop(), EscapeWay::MonitorOp);
+      break;
+    case Opcode::SyncExit:
+      break;
+    case Opcode::Dup:
+      if (!S.Stack.empty())
+        Push(S.Stack.back());
+      else
+        Push(Ext);
+      break;
+    case Opcode::Swap:
+      if (S.Stack.size() >= 2)
+        std::swap(S.Stack[S.Stack.size() - 1], S.Stack[S.Stack.size() - 2]);
+      break;
+    case Opcode::Load:
+      Push(static_cast<uint32_t>(I.A) < S.Locals.size()
+               ? S.Locals[static_cast<uint32_t>(I.A)]
+               : Ext);
+      break;
+    case Opcode::Store: {
+      uint64_t V = Pop();
+      if (static_cast<uint32_t>(I.A) < S.Locals.size())
+        S.Locals[static_cast<uint32_t>(I.A)] = V;
+      break;
+    }
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::Div:
+    case Opcode::Mod:
+    case Opcode::CmpEq:
+    case Opcode::CmpLt:
+    case Opcode::ALoad: // int element
+      Pop();
+      Pop();
+      Push(0);
+      break;
+    case Opcode::Neg:
+    case Opcode::ArrayLen:
+      Pop();
+      Push(0);
+      break;
+    case Opcode::NativeCall: // consumes the top, produces an int
+      Escape(Pop(), EscapeWay::NativeOp);
+      Push(0);
+      break;
+    case Opcode::GetField: // pops the object, pushes an int field
+      Pop();
+      Push(0);
+      break;
+    case Opcode::GetRef: // a loaded reference is external
+      Pop();
+      Push(Ext);
+      break;
+    case Opcode::PutField: // (obj, value) -> ()
+      Pop();
+      Pop();
+      break;
+    case Opcode::PutRef: { // (obj, value) -> (); the value escapes
+      uint64_t Val = Pop();
+      Pop();
+      Escape(Val, EscapeWay::StoredToHeap);
+      break;
+    }
+    case Opcode::AStore: // (array, index, value) -> (); int value
+      Pop();
+      Pop();
+      Pop();
+      break;
+    case Opcode::Invoke: {
+      uint32_t Params = 0;
+      if (I.A >= 0 && static_cast<uint32_t>(I.A) < M.methodCount())
+        Params = M.method(static_cast<uint32_t>(I.A)).NumParams;
+      for (uint32_t P = 0; P < Params; ++P)
+        Escape(Pop(), EscapeWay::InvokeArg);
+      Push(Ext);
+      break;
+    }
+    case Opcode::Jump:
+      break;
+    case Opcode::JumpIfZero:
+    case Opcode::JumpIfNonZero:
+      Pop();
+      break;
+    case Opcode::Return:
+      Escape(Pop(), EscapeWay::Returned);
+      break;
+    }
+  }
+};
+
+} // namespace
+
+EscapeAnalysis::EscapeAnalysis(const Module &M, uint32_t MethodId) {
+  const Method &Fn = M.method(MethodId);
+  EscapeDomain D{M, Fn, {}, nullptr};
+
+  // Assign tracked-site indices in pc order; allocations past the cap
+  // degrade to external (sound: they just never look benign).
+  D.SiteAt.assign(Fn.Code.size(), -1);
+  for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc)
+    if (Fn.Code[Pc].Op == Opcode::NewObject ||
+        Fn.Code[Pc].Op == Opcode::NewArray)
+      if (SiteAllocPc.size() < MaxSites) {
+        D.SiteAt[Pc] = static_cast<int32_t>(SiteAllocPc.size());
+        SiteAllocPc.push_back(Pc);
+      }
+
+  std::vector<EscState> In = runForwardDataflow(Fn, D);
+
+  // Reporting pass: replay each reached instruction once, in pc order, to
+  // harvest write facts and first-escape events from the fixed point.
+  Writes.assign(Fn.Code.size(), WriteFact());
+  D.Events = &Escapes;
+  for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc) {
+    if (!In[Pc].Reached)
+      continue; // unreachable code keeps bottom
+
+    const EscState &S = In[Pc];
+    const Instruction &I = Fn.Code[Pc];
+    WriteFact &W = Writes[Pc];
+    auto At = [&](std::size_t FromTop) -> uint64_t {
+      return S.Stack.size() >= FromTop ? S.Stack[S.Stack.size() - FromTop]
+                                       : Ext;
+    };
+    if (I.Op == Opcode::PutField || I.Op == Opcode::PutRef) {
+      W.Reached = true;
+      W.BaseMask = At(2);
+      W.EscapedMask = S.Escaped;
+    } else if (I.Op == Opcode::AStore) {
+      W.Reached = true;
+      W.BaseMask = At(3);
+      W.EscapedMask = S.Escaped;
+    }
+    EscState Tmp = S;
+    D.transfer(Pc, I, Tmp); // records escape events
+  }
+  D.Events = nullptr;
+}
+
+bool EscapeAnalysis::writeIsRegionLocal(uint32_t Pc,
+                                        const SyncRegion &R) const {
+  if (Pc >= Writes.size() || !Writes[Pc].Reached)
+    return false;
+  const WriteFact &W = Writes[Pc];
+  if (W.BaseMask == 0 || (W.BaseMask & Ext) || (W.BaseMask & W.EscapedMask))
+    return false;
+  for (std::size_t B = 0; B < SiteAllocPc.size(); ++B)
+    if (W.BaseMask & (1ULL << B))
+      if (!(SiteAllocPc[B] > R.EnterPc && SiteAllocPc[B] < R.ExitPc))
+        return false;
+  return true;
+}
+
+uint32_t EscapeAnalysis::writeBaseAllocPc(uint32_t Pc) const {
+  if (Pc >= Writes.size() || !Writes[Pc].Reached)
+    return ~0u; // DiagNoPc
+  const WriteFact &W = Writes[Pc];
+  if (W.BaseMask == 0 || (W.BaseMask & Ext))
+    return ~0u;
+  for (std::size_t B = 0; B < SiteAllocPc.size(); ++B)
+    if (W.BaseMask & (1ULL << B))
+      return SiteAllocPc[B];
+  return ~0u;
+}
+
+bool EscapeAnalysis::writeBaseEscaped(uint32_t Pc) const {
+  if (Pc >= Writes.size() || !Writes[Pc].Reached)
+    return false;
+  const WriteFact &W = Writes[Pc];
+  return W.BaseMask != 0 && !(W.BaseMask & Ext) &&
+         (W.BaseMask & W.EscapedMask) != 0;
+}

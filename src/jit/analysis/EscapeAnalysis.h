@@ -1,0 +1,102 @@
+//===- jit/analysis/EscapeAnalysis.h - In-region allocation facts *- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow-sensitive escape analysis over one CSIR method, on the forward
+/// dataflow engine. It tracks which allocation site(s) each local and
+/// operand-stack slot may refer to, and which sites have escaped on some
+/// path (stored into the heap, passed to a callee, monitored, or handed
+/// to native code).
+///
+/// The classifier consumes the result: a PutField/PutRef/AStore whose base
+/// is *provably* an allocation from inside the synchronized region being
+/// classified, with no escape on any path reaching the write, is a *benign
+/// write* — it touches memory no other thread can reach, so it no longer
+/// disqualifies the region from the Figure-7 elided path. The paper
+/// explicitly permits allocation inside read-only sections; this extends
+/// that to filling in what was allocated. Soundness rests on the closed
+/// publication argument: inside a region, a fresh object can only become
+/// reachable from shared state via a heap write to a non-fresh base (which
+/// itself disqualifies the region) or via an impure callee (ditto);
+/// escapes through locals and Return publish only after the speculation
+/// commits. The analysis is nevertheless conservative about *every*
+/// recorded escape — a site that escapes anywhere on a path stops being
+/// benign for later writes, which is what the EscapingFreshWrite
+/// diagnostic reports.
+///
+/// Conservatisms (see DESIGN.md §13): only allocations lexically inside
+/// the region count (at most 63 tracked sites per method; later sites
+/// degrade to "external"), values returned from callees and loaded from
+/// reference fields are external, and arrays are tracked like objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ANALYSIS_ESCAPEANALYSIS_H
+#define SOLERO_JIT_ANALYSIS_ESCAPEANALYSIS_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "jit/Program.h"
+#include "jit/Verifier.h"
+
+namespace solero {
+namespace jit {
+
+/// How an allocation site first escaped.
+enum class EscapeWay : uint8_t {
+  StoredToHeap, ///< PutRef stored the reference into some object
+  InvokeArg,    ///< passed as an argument to a callee
+  MonitorOp,    ///< used as a monitor (SyncEnter / wait / notify)
+  NativeOp,     ///< consumed by NativeCall
+  Returned,     ///< returned from the method
+};
+
+const char *escapeWayName(EscapeWay Way);
+
+/// Escape facts for one (verified) method.
+class EscapeAnalysis {
+public:
+  EscapeAnalysis(const Module &M, uint32_t MethodId);
+
+  /// True if the write at \p Pc (PutField/PutRef/AStore) provably targets
+  /// an allocation from strictly inside \p R that has not escaped on any
+  /// path reaching \p Pc.
+  bool writeIsRegionLocal(uint32_t Pc, const SyncRegion &R) const;
+
+  /// The allocation site of the write's base when it is a known fresh
+  /// allocation (unique or not — the lowest site is returned), DiagNoPc
+  /// when the base is external/unknown.
+  uint32_t writeBaseAllocPc(uint32_t Pc) const;
+
+  /// True if the write's base is a fresh allocation that may have escaped
+  /// before \p Pc (the EscapingFreshWrite diagnostic).
+  bool writeBaseEscaped(uint32_t Pc) const;
+
+  struct EscapeEvent {
+    uint32_t Pc;
+    EscapeWay Way;
+  };
+  /// Allocation pc -> first (lowest-pc) escape event, for diagnostics and
+  /// tests. Sites that never escape are absent.
+  const std::map<uint32_t, EscapeEvent> &escapes() const { return Escapes; }
+
+private:
+  struct WriteFact {
+    bool Reached = false;
+    uint64_t BaseMask = 0;    ///< site bits + external bit
+    uint64_t EscapedMask = 0; ///< sites escaped at the write's entry
+  };
+  std::vector<WriteFact> Writes;   ///< indexed by pc; write ops only
+  std::vector<uint32_t> SiteAllocPc; ///< site index -> allocation pc
+  std::map<uint32_t, EscapeEvent> Escapes;
+};
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ANALYSIS_ESCAPEANALYSIS_H

@@ -1,0 +1,39 @@
+//===- jit/analysis/Liveness.cpp - Backward local liveness ----------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/analysis/Liveness.h"
+
+#include "jit/analysis/Dataflow.h"
+
+using namespace solero;
+using namespace solero::jit;
+
+namespace {
+
+struct LivenessDomain {
+  using State = BitVec;
+  std::size_t NumLocals;
+
+  State bottom() const { return BitVec(NumLocals); }
+  State boundary() const { return BitVec(NumLocals); }
+  bool join(State &Into, const State &From) const {
+    return Into.unionWith(From);
+  }
+  void transfer(uint32_t, const Instruction &I, State &S) const {
+    if (I.Op == Opcode::Store)
+      S.reset(static_cast<std::size_t>(I.A)); // def kills
+    if (I.Op == Opcode::Load)
+      S.set(static_cast<std::size_t>(I.A)); // use gens
+  }
+};
+
+} // namespace
+
+std::vector<BitVec> jit::computeLiveIn(const Module &M, uint32_t Id) {
+  const Method &Fn = M.method(Id);
+  LivenessDomain D{Fn.NumLocals};
+  return runBackwardDataflow(Fn, D);
+}

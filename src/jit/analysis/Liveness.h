@@ -1,0 +1,34 @@
+//===- jit/analysis/Liveness.h - Backward local liveness --------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness of local variable slots, on the generic dataflow
+/// engine. The classifier uses it for the Section 3.2 rule "writes to
+/// local variables that are live at the beginning of the critical section
+/// forbid elision". Lattice elements are dynamic bitsets, so there is no
+/// 64-local ceiling (the former implementation hard-failed above 64).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ANALYSIS_LIVENESS_H
+#define SOLERO_JIT_ANALYSIS_LIVENESS_H
+
+#include <vector>
+
+#include "jit/Program.h"
+#include "jit/analysis/BitVec.h"
+
+namespace solero {
+namespace jit {
+
+/// The set of locals live at the entry of each instruction of method
+/// \p Id. Supports any number of locals.
+std::vector<BitVec> computeLiveIn(const Module &M, uint32_t Id);
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ANALYSIS_LIVENESS_H

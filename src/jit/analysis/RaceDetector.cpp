@@ -1,0 +1,222 @@
+//===- jit/analysis/RaceDetector.cpp - Static guest race check ------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/analysis/RaceDetector.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <map>
+
+#include "jit/analysis/Diagnostics.h"
+#include "jit/analysis/EscapeAnalysis.h"
+
+using namespace solero;
+using namespace solero::jit;
+
+const char *jit::fieldSpaceName(FieldSpace Space) {
+  switch (Space) {
+  case FieldSpace::IntField:
+    return "F";
+  case FieldSpace::RefField:
+    return "R";
+  case FieldSpace::Static:
+    return "S";
+  }
+  SOLERO_UNREACHABLE("bad FieldSpace");
+}
+
+namespace {
+
+// Lock-context bits a method can run under.
+constexpr uint8_t CtxUnlocked = 1;
+constexpr uint8_t CtxLocked = 2;
+
+struct Access {
+  uint32_t MethodId;
+  uint32_t Pc;
+  AccessKind Kind;
+  bool Locked;
+};
+
+struct FieldKey {
+  FieldSpace Space;
+  int32_t Index;
+  bool operator<(const FieldKey &O) const {
+    if (Space != O.Space)
+      return Space < O.Space;
+    return Index < O.Index;
+  }
+};
+
+/// depth > 0 lexically (the verifier enforces that lexical and dynamic
+/// nesting agree, so this is the region membership of each pc).
+std::vector<bool> lexicallyInRegion(const Method &Fn) {
+  std::vector<bool> In(Fn.Code.size(), false);
+  uint32_t Depth = 0;
+  for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc) {
+    if (Fn.Code[Pc].Op == Opcode::SyncExit && Depth > 0)
+      --Depth;
+    In[Pc] = Depth > 0;
+    if (Fn.Code[Pc].Op == Opcode::SyncEnter)
+      ++Depth;
+  }
+  return In;
+}
+
+} // namespace
+
+std::vector<RaceWarning> jit::detectRaces(const Module &M) {
+  const uint32_t N = static_cast<uint32_t>(M.methodCount());
+  std::vector<std::vector<bool>> InRegion(N);
+  std::vector<bool> HasCaller(N, false);
+  for (uint32_t Id = 0; Id < N; ++Id) {
+    InRegion[Id] = lexicallyInRegion(M.method(Id));
+    for (const Instruction &I : M.method(Id).Code)
+      if (I.Op == Opcode::Invoke && I.A >= 0 &&
+          static_cast<uint32_t>(I.A) < N)
+        HasCaller[static_cast<uint32_t>(I.A)] = true;
+  }
+
+  // Entry points: methods nobody in the module invokes start unlocked.
+  // A module that only contains call cycles has no roots; then every
+  // method is a potential entry point.
+  std::vector<uint8_t> Ctx(N, 0);
+  bool AnyRoot = false;
+  for (uint32_t Id = 0; Id < N; ++Id)
+    if (!HasCaller[Id]) {
+      Ctx[Id] = CtxUnlocked;
+      AnyRoot = true;
+    }
+  if (!AnyRoot)
+    Ctx.assign(N, CtxUnlocked);
+
+  // Propagate contexts over the call graph: an invoke inside a region
+  // runs the callee locked; outside, the callee inherits the caller's
+  // possible contexts.
+  std::deque<uint32_t> Worklist;
+  for (uint32_t Id = 0; Id < N; ++Id)
+    if (Ctx[Id])
+      Worklist.push_back(Id);
+  while (!Worklist.empty()) {
+    uint32_t Id = Worklist.front();
+    Worklist.pop_front();
+    const Method &Fn = M.method(Id);
+    for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc) {
+      const Instruction &I = Fn.Code[Pc];
+      if (I.Op != Opcode::Invoke || I.A < 0 ||
+          static_cast<uint32_t>(I.A) >= N)
+        continue;
+      uint32_t Callee = static_cast<uint32_t>(I.A);
+      uint8_t Add = InRegion[Id][Pc] ? CtxLocked : Ctx[Id];
+      if ((Ctx[Callee] | Add) != Ctx[Callee]) {
+        Ctx[Callee] |= Add;
+        Worklist.push_back(Callee);
+      }
+    }
+  }
+
+  // Collect per-field accesses. Writes the escape analysis proves hit a
+  // fresh, unescaped allocation touch thread-local memory and are
+  // dropped — they can race with nothing.
+  std::map<FieldKey, std::vector<Access>> Fields;
+  for (uint32_t Id = 0; Id < N; ++Id) {
+    if (!Ctx[Id])
+      continue; // unreachable from any entry point
+    const Method &Fn = M.method(Id);
+    EscapeAnalysis Esc(M, Id);
+    for (uint32_t Pc = 0; Pc < Fn.Code.size(); ++Pc) {
+      const Instruction &I = Fn.Code[Pc];
+      FieldKey Key;
+      AccessKind Kind;
+      switch (I.Op) {
+      case Opcode::GetField:
+        Key = {FieldSpace::IntField, I.A};
+        Kind = AccessKind::Read;
+        break;
+      case Opcode::PutField:
+        Key = {FieldSpace::IntField, I.A};
+        Kind = AccessKind::Write;
+        break;
+      case Opcode::GetRef:
+        Key = {FieldSpace::RefField, I.A};
+        Kind = AccessKind::Read;
+        break;
+      case Opcode::PutRef:
+        Key = {FieldSpace::RefField, I.A};
+        Kind = AccessKind::Write;
+        break;
+      case Opcode::GetStatic:
+        Key = {FieldSpace::Static, I.A};
+        Kind = AccessKind::Read;
+        break;
+      case Opcode::PutStatic:
+        Key = {FieldSpace::Static, I.A};
+        Kind = AccessKind::Write;
+        break;
+      default:
+        continue;
+      }
+      if (Kind == AccessKind::Write &&
+          (I.Op == Opcode::PutField || I.Op == Opcode::PutRef) &&
+          Esc.writeBaseAllocPc(Pc) != DiagNoPc && !Esc.writeBaseEscaped(Pc))
+        continue; // provably thread-local
+      std::vector<Access> &List = Fields[Key];
+      if (InRegion[Id][Pc]) {
+        List.push_back({Id, Pc, Kind, /*Locked=*/true});
+      } else {
+        if (Ctx[Id] & CtxLocked)
+          List.push_back({Id, Pc, Kind, /*Locked=*/true});
+        if (Ctx[Id] & CtxUnlocked)
+          List.push_back({Id, Pc, Kind, /*Locked=*/false});
+      }
+    }
+  }
+
+  std::vector<RaceWarning> Warnings;
+  for (const auto &[Key, List] : Fields) {
+    const Access *FirstLocked = nullptr;
+    bool AnyWrite = false;
+    for (const Access &A : List) {
+      if (A.Locked && !FirstLocked)
+        FirstLocked = &A;
+      AnyWrite |= A.Kind == AccessKind::Write;
+    }
+    if (!FirstLocked || !AnyWrite)
+      continue; // never locked, or read-only sharing: not our pattern
+    for (const Access &A : List) {
+      if (A.Locked)
+        continue;
+      if (A.Kind == AccessKind::Read && !AnyWrite)
+        continue;
+      Warnings.push_back({A.MethodId, A.Pc, Key.Space, Key.Index, A.Kind,
+                          FirstLocked->MethodId, FirstLocked->Pc});
+    }
+  }
+  std::sort(Warnings.begin(), Warnings.end(),
+            [](const RaceWarning &A, const RaceWarning &B) {
+              if (A.MethodId != B.MethodId)
+                return A.MethodId < B.MethodId;
+              if (A.Pc != B.Pc)
+                return A.Pc < B.Pc;
+              if (A.Space != B.Space)
+                return A.Space < B.Space;
+              return A.Index < B.Index;
+            });
+  return Warnings;
+}
+
+std::string jit::renderRaceWarning(const Module &M, const RaceWarning &W) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s pc %u: unlocked %s of %s[%d] races with locked access "
+                "at %s:%u; wrap it in a synchronized block",
+                M.method(W.MethodId).Name.c_str(), W.Pc,
+                W.Kind == AccessKind::Write ? "write" : "read",
+                fieldSpaceName(W.Space), W.Index,
+                M.method(W.LockedMethodId).Name.c_str(), W.LockedPc);
+  return Buf;
+}

@@ -1,0 +1,78 @@
+//===- jit/analysis/RaceDetector.h - Static guest race check ----*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lockset-style static race detector for guest modules. Lock elision is
+/// only transparent for correctly-synchronized guests (the paper assumes
+/// data-race freedom); this pass flags the common violation pattern — a
+/// shared field accessed both under a synchronized region and outside any
+/// region — before a module is run elided.
+///
+/// The pass computes, per instruction, whether it can execute while *some*
+/// monitor is held ("locked") and/or while none is ("unlocked"): lexical
+/// SyncEnter/SyncExit nesting inside each method, plus inter-procedural
+/// propagation (a callee invoked from inside a region runs locked; a
+/// module root — a method no one in the module invokes — starts unlocked).
+/// It then reports every field access that can happen unlocked when the
+/// same field also has locked accesses, provided a write is involved
+/// (read/read sharing is race-free).
+///
+/// Soundness caveats (DESIGN.md §13): the detector keys on field *indices*
+/// (F[i]/R[i]/S[i]), not objects, so distinct objects sharing a field
+/// index can cause false positives; it treats all monitors as one lock, so
+/// it cannot see lock-disjoint races; array elements are not tracked; and
+/// writes to provably region-local allocations (escape analysis) are
+/// excluded, since no other thread can reach them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_JIT_ANALYSIS_RACEDETECTOR_H
+#define SOLERO_JIT_ANALYSIS_RACEDETECTOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jit/Program.h"
+
+namespace solero {
+namespace jit {
+
+enum class AccessKind : uint8_t { Read, Write };
+
+/// Which namespace a field index lives in.
+enum class FieldSpace : uint8_t {
+  IntField, ///< F[i] — GetField/PutField
+  RefField, ///< R[i] — GetRef/PutRef
+  Static,   ///< S[i] — GetStatic/PutStatic
+};
+
+const char *fieldSpaceName(FieldSpace Space);
+
+/// One potential guest race: the unlocked access, plus one locked access
+/// to the same field as evidence.
+struct RaceWarning {
+  uint32_t MethodId; ///< method with the unlocked access
+  uint32_t Pc;
+  FieldSpace Space;
+  int32_t Index;
+  AccessKind Kind;
+  uint32_t LockedMethodId; ///< a locked access to the same field
+  uint32_t LockedPc;
+};
+
+/// Runs the detector over every method. Warnings are deterministic,
+/// ordered by (method id, pc).
+std::vector<RaceWarning> detectRaces(const Module &M);
+
+/// "methodName pc N: unlocked write to F[2] races with locked access at
+/// other:7; wrap it in synchronized or make the field thread-local".
+std::string renderRaceWarning(const Module &M, const RaceWarning &W);
+
+} // namespace jit
+} // namespace solero
+
+#endif // SOLERO_JIT_ANALYSIS_RACEDETECTOR_H

@@ -127,7 +127,8 @@ TEST(Arrays, ArrayWriteInsideRegionIsWriting) {
   ClassifiedModule C = classifyModule(M);
   const ClassifiedRegion &R = C.regions(0)[0];
   EXPECT_EQ(R.Kind, RegionKind::Writing);
-  EXPECT_NE(R.Reason.find("astore"), std::string::npos);
+  EXPECT_EQ(R.primary().Code, DiagCode::ArrayWrite);
+  EXPECT_NE(regionReason(M, R).find("astore"), std::string::npos);
 }
 
 TEST(Arrays, ElidedArrayReadExecutes) {

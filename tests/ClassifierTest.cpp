@@ -180,7 +180,10 @@ TEST(Classifier, ImpureInvokeBlocksElision) {
   ClassifiedModule C = classifyModule(M);
   EXPECT_FALSE(C.methodIsPure(0));
   EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::Writing);
-  EXPECT_NE(C.regions(1)[0].Reason.find("impureHelper"), std::string::npos);
+  EXPECT_EQ(C.regions(1)[0].primary().Code, DiagCode::ImpureInvoke);
+  EXPECT_EQ(C.regions(1)[0].primary().Operand, 0); // callee method id
+  EXPECT_NE(regionReason(M, C.regions(1)[0]).find("impureHelper"),
+            std::string::npos);
 }
 
 TEST(Classifier, TransitivePurityThroughCallChain) {
@@ -238,7 +241,8 @@ TEST(Classifier, AnnotationOverridesVirtualDispatchUncertainty) {
   }
   ClassifiedModule C = classifyModule(M);
   EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::ReadOnly);
-  EXPECT_NE(C.regions(1)[0].Reason.find("@SoleroReadOnly"),
+  EXPECT_EQ(C.regions(1)[0].primary().Code, DiagCode::AnnotatedReadOnly);
+  EXPECT_NE(regionReason(M, C.regions(1)[0]).find("@SoleroReadOnly"),
             std::string::npos);
 }
 
@@ -316,7 +320,151 @@ TEST(Liveness, ComputesLiveInSets) {
   B.constant(5).store(1); // pc 0,1
   B.load(0).load(1).add().ret(); // pc 2..5
   Module M = moduleOf(B.take());
-  std::vector<uint64_t> Live = computeLiveIn(M, 0);
-  EXPECT_EQ(Live[0], 0b01u);    // only local0 live at entry
-  EXPECT_EQ(Live[2], 0b11u);    // both live before the loads
+  std::vector<BitVec> Live = computeLiveIn(M, 0);
+  EXPECT_TRUE(Live[0].test(0)); // only local0 live at entry
+  EXPECT_FALSE(Live[0].test(1));
+  EXPECT_TRUE(Live[2].test(0)); // both live before the loads
+  EXPECT_TRUE(Live[2].test(1));
+}
+
+TEST(Liveness, SupportsMoreThan64Locals) {
+  // The former bitmask implementation hard-failed above 64 locals; the
+  // dynamic bitset must analyze slot 69 like any other.
+  MethodBuilder B("wide", 1, 70);
+  B.constant(5).store(69);       // pc 0,1
+  B.load(0).load(69).add().ret(); // pc 2..5
+  Module M = moduleOf(B.take());
+  std::vector<BitVec> Live = computeLiveIn(M, 0);
+  ASSERT_EQ(Live[0].size(), 70u);
+  EXPECT_FALSE(Live[0].test(69)); // defined before use
+  EXPECT_TRUE(Live[2].test(69));  // live between def and use
+}
+
+TEST(Classifier, LiveLocalStoreDetectedPast64Locals) {
+  // Regression for the 64-local ceiling: local 69 is live at region entry
+  // and clobbered inside — that must still block elision.
+  MethodBuilder B("wideLive", 1, 70);
+  B.constant(1).store(69);
+  B.load(0).syncEnter();
+  B.load(69).constant(5).add().store(69);
+  B.syncExit();
+  B.load(69).ret();
+  Module M = moduleOf(B.take());
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_EQ(C.regions(0)[0].Kind, RegionKind::Writing);
+  EXPECT_EQ(C.regions(0)[0].primary().Code, DiagCode::LiveLocalStore);
+  EXPECT_EQ(C.regions(0)[0].primary().Operand, 69);
+}
+
+TEST(Classifier, DeadLocalStorePast64LocalsIsReadOnly) {
+  MethodBuilder B("wideDead", 1, 70);
+  B.load(0).syncEnter();
+  B.constant(5).store(69); // dead at entry: defined before any use
+  B.load(69).pop();
+  B.syncExit().constant(0).ret();
+  EXPECT_EQ(soleKind(moduleOf(B.take())), RegionKind::ReadOnly);
+}
+
+TEST(Classifier, MutuallyRecursiveCalleesAreConservative) {
+  // a -> b -> a: the InProgress marker bottoms the cycle out as impure on
+  // both sides, so regions invoking either stay conventional.
+  Module M;
+  M.NumStatics = 0;
+  {
+    MethodBuilder A("mutA", 1, 1);
+    A.load(0).invoke(1).ret();
+    M.addMethod(A.take());
+  }
+  {
+    MethodBuilder Bm("mutB", 1, 1);
+    Bm.load(0).invoke(0).ret();
+    M.addMethod(Bm.take());
+  }
+  {
+    MethodBuilder Caller("caller", 1, 1);
+    Caller.load(0).syncEnter();
+    Caller.constant(7).invoke(0).pop();
+    Caller.syncExit().constant(0).ret();
+    M.addMethod(Caller.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_FALSE(C.methodIsPure(0));
+  EXPECT_FALSE(C.methodIsPure(1));
+  EXPECT_EQ(C.regions(2)[0].Kind, RegionKind::Writing);
+  EXPECT_EQ(C.regions(2)[0].primary().Code, DiagCode::ImpureInvoke);
+}
+
+TEST(Classifier, SelfRecursiveCalleeInsideRegionIsConservative) {
+  Module M;
+  M.NumStatics = 0;
+  {
+    MethodBuilder Rec("recurse", 1, 1);
+    Rec.load(0).invoke(0).ret();
+    M.addMethod(Rec.take());
+  }
+  {
+    MethodBuilder Caller("caller", 1, 1);
+    Caller.load(0).syncEnter();
+    Caller.constant(3).invoke(0).pop();
+    Caller.syncExit().constant(0).ret();
+    M.addMethod(Caller.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_FALSE(C.methodIsPure(0));
+  EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::Writing);
+  EXPECT_EQ(C.regions(1)[0].primary().Code, DiagCode::ImpureInvoke);
+}
+
+TEST(Classifier, PureInvokeAfterConditionalThrowStaysReadOnly) {
+  // The invoke is only reachable when the guard does not throw; throwing
+  // is permitted in read-only blocks, and the classification is lexical,
+  // so the region stays read-only.
+  Module M;
+  M.NumStatics = 0;
+  {
+    MethodBuilder Callee("pureHelper", 1, 1);
+    Callee.load(0).constant(2).mul().ret();
+    M.addMethod(Callee.take());
+  }
+  {
+    MethodBuilder Caller("guarded", 1, 1);
+    auto NoThrow = Caller.newLabel();
+    Caller.load(0).syncEnter();
+    Caller.load(0).getField(0).jumpIfZero(NoThrow);
+    Caller.constant(100).throwError();
+    Caller.bind(NoThrow);
+    Caller.constant(21).invoke(0).pop();
+    Caller.syncExit().constant(0).ret();
+    M.addMethod(Caller.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::ReadOnly);
+  EXPECT_EQ(C.regions(1)[0].primary().Code,
+            DiagCode::NoWritesOrSideEffects);
+}
+
+TEST(Classifier, ImpureInvokeAfterConditionalThrowStillBlocks) {
+  // Even though the impure invoke executes only on the no-throw path, the
+  // lexical scan must find it — reachability does not soften blockers.
+  Module M;
+  M.NumStatics = 1;
+  {
+    MethodBuilder Callee("impureHelper", 0, 0);
+    Callee.constant(1).putStatic(0).constant(0).ret();
+    M.addMethod(Callee.take());
+  }
+  {
+    MethodBuilder Caller("guarded", 1, 1);
+    auto NoThrow = Caller.newLabel();
+    Caller.load(0).syncEnter();
+    Caller.load(0).getField(0).jumpIfZero(NoThrow);
+    Caller.constant(100).throwError();
+    Caller.bind(NoThrow);
+    Caller.invoke(0).pop();
+    Caller.syncExit().constant(0).ret();
+    M.addMethod(Caller.take());
+  }
+  ClassifiedModule C = classifyModule(M);
+  EXPECT_EQ(C.regions(1)[0].Kind, RegionKind::Writing);
+  EXPECT_EQ(C.regions(1)[0].primary().Code, DiagCode::ImpureInvoke);
 }

@@ -41,6 +41,9 @@ RuntimeContext &quietCtx() {
 }
 
 constexpr int NumScratch = 6; // main's scratch locals: slots 2..7
+// Dedicated ref-typed local for the in-region result holder (always
+// stored before read, so it stays dead at region entry).
+constexpr int32_t HolderSlot = 2 + NumScratch;
 
 /// Pure leaf callee: arithmetic over its two int params only.
 Method buildLeaf(SplitMix64 &R) {
@@ -82,17 +85,18 @@ Method buildReadMostly() {
   return B.take();
 }
 
-/// Main method: slot 0 = int arg, slot 1 = object, slots 2..7 scratch.
-/// Every statement is stack-neutral; scratch writes inside regions are
-/// dead at region entry, so regions keep their natural classification.
+/// Main method: slot 0 = int arg, slot 1 = object, slots 2..7 scratch,
+/// slot 8 the result-holder ref. Every statement is stack-neutral;
+/// scratch writes inside regions are dead at region entry, so regions
+/// keep their natural classification.
 Method buildMain(SplitMix64 &R) {
-  MethodBuilder B("main", 2, 2 + NumScratch);
+  MethodBuilder B("main", 2, 3 + NumScratch);
   auto Scratch = [&] { return static_cast<int32_t>(2 + R.next() % NumScratch); };
   auto Field = [&] { return static_cast<int32_t>(R.next() % 4); };
 
   const int Stmts = 6 + static_cast<int>(R.next() % 6);
   for (int S = 0; S < Stmts; ++S) {
-    switch (R.next() % 11) {
+    switch (R.next() % 12) {
     case 0: // scratch arithmetic
       B.load(Scratch()).constant(static_cast<int64_t>(R.next() % 50)).add();
       B.store(Scratch());
@@ -162,6 +166,20 @@ Method buildMain(SplitMix64 &R) {
           .constant(static_cast<int64_t>(R.next() % 10)).add().putField(Field());
       B.syncExit();
       break;
+    case 10: // snapshot region: allocate a holder, fill it, read it back.
+             // The escape analysis proves the holder writes benign, so the
+             // region elides — both engines must agree on the counters.
+    {
+      B.load(1).syncEnter();
+      B.newObject().store(HolderSlot);
+      B.load(HolderSlot).load(1).getField(Field()).putField(0);
+      B.load(HolderSlot).load(1).getField(Field())
+          .constant(static_cast<int64_t>(R.next() % 25)).add().putField(1);
+      B.load(HolderSlot).getField(0)
+          .load(HolderSlot).getField(1).add().store(Scratch());
+      B.syncExit();
+      break;
+    }
     default: // read-mostly helper call (flag = int arg)
       B.load(1).load(0).invoke(2).store(Scratch());
       break;
