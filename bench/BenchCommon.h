@@ -13,6 +13,7 @@
 ///   --threads=L     comma list of thread counts      (figure-specific)
 ///   --quick         CI smoke mode (tiny windows)
 ///   --seed=N        workload RNG seed
+///   --json=PATH     also write the run's results as machine-readable JSON
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +32,91 @@
 
 namespace solero {
 
+/// Accumulates one row per (variant, protocol, threads) cell and writes the
+/// whole run as a JSON document, so figure runs leave a machine-readable
+/// perf trajectory next to the human tables:
+///
+///   {"figure": "fig12", "rows": [
+///     {"variant": "a", "protocol": "RWLock", "threads": 2,
+///      "ops_per_sec": ..., "rmw_per_op": ..., "stores_per_op": ...,
+///      "failure_ratio": ...}, ...]}
+///
+/// The schema is checked by the CI bench smoke job
+/// (bench/RunBenchJsonSmoke.cmake).
+class JsonReport {
+public:
+  explicit JsonReport(std::string Figure) : Figure(std::move(Figure)) {}
+
+  void add(const std::string &Variant, const std::string &Protocol,
+           int Threads, const BenchResult &R) {
+    Row Entry;
+    Entry.Variant = Variant;
+    Entry.Protocol = Protocol;
+    Entry.Threads = Threads;
+    Entry.OpsPerSec = R.OpsPerSec;
+    Entry.RmwPerOp = R.rmwPerOp();
+    Entry.StoresPerOp = R.storesPerOp();
+    Entry.FailureRatio = R.failureRatio();
+    Rows.push_back(std::move(Entry));
+  }
+
+  /// Writes the document; no-op when \p Path is empty. Returns false (and
+  /// warns on stderr) when the file cannot be written.
+  bool write(const std::string &Path) const {
+    if (Path.empty())
+      return true;
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write --json file %s\n",
+                   Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\n  \"figure\": \"%s\",\n  \"rows\": [",
+                 escaped(Figure).c_str());
+    for (std::size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::fprintf(F,
+                   "%s\n    {\"variant\": \"%s\", \"protocol\": \"%s\", "
+                   "\"threads\": %d, \"ops_per_sec\": %.6g, "
+                   "\"rmw_per_op\": %.6g, \"stores_per_op\": %.6g, "
+                   "\"failure_ratio\": %.6g}",
+                   I ? "," : "", escaped(R.Variant).c_str(),
+                   escaped(R.Protocol).c_str(), R.Threads, R.OpsPerSec,
+                   R.RmwPerOp, R.StoresPerOp, R.FailureRatio);
+    }
+    std::fprintf(F, "\n  ]\n}\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  struct Row {
+    std::string Variant;
+    std::string Protocol;
+    int Threads = 0;
+    double OpsPerSec = 0;
+    double RmwPerOp = 0;
+    double StoresPerOp = 0;
+    double FailureRatio = 0;
+  };
+
+  static std::string escaped(const std::string &S) {
+    std::string Out;
+    Out.reserve(S.size());
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out.push_back('\\');
+      if (static_cast<unsigned char>(C) < 0x20)
+        continue; // table labels never need control characters
+      Out.push_back(C);
+    }
+    return Out;
+  }
+
+  std::string Figure;
+  std::vector<Row> Rows;
+};
+
 /// Everything a figure binary needs.
 struct BenchEnv {
   BenchEnv(int Argc, char **Argv) : Args(Argc, Argv) {
@@ -40,6 +126,7 @@ struct BenchEnv {
     Opts.Warmup = std::chrono::milliseconds(Quick ? 5 : 30);
     Opts.Trials = static_cast<int>(Args.getInt("trials", Quick ? 1 : 2));
     Seed = static_cast<uint64_t>(Args.getInt("seed", 0x5eed));
+    JsonPath = Args.getString("json", "");
     Ctx = std::make_unique<RuntimeContext>();
   }
 
@@ -55,6 +142,8 @@ struct BenchEnv {
   std::unique_ptr<RuntimeContext> Ctx;
   uint64_t Seed = 0;
   bool Quick = false;
+  /// Destination of the machine-readable run report; empty = off.
+  std::string JsonPath;
 };
 
 /// Prints the standard figure banner.

@@ -1,0 +1,39 @@
+# Runs ${BENCH} with --json=${JSON} at a tiny size and schema-checks the
+# emitted file (the machine-readable side of the fig12/fig13/ablate
+# harness). Portable cousin of RunGoldenDiff.cmake: bench throughput is
+# nondeterministic, so instead of a golden diff this validates structure —
+# the file exists, parses as the JsonReport shape, and contains a row for
+# every protocol the four-way comparison promises.
+execute_process(COMMAND ${BENCH} --quick --threads=${THREADS} --json=${JSON}
+                OUTPUT_VARIABLE STDOUT
+                RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "${BENCH} exited with ${RC}")
+endif()
+if(NOT EXISTS ${JSON})
+  message(FATAL_ERROR "${BENCH} did not write ${JSON}")
+endif()
+file(READ ${JSON} DOC)
+# Structural spine of BenchCommon.h's JsonReport schema.
+foreach(KEY "\"figure\"" "\"rows\"" "\"variant\"" "\"protocol\""
+        "\"threads\"" "\"ops_per_sec\"" "\"rmw_per_op\"" "\"stores_per_op\""
+        "\"failure_ratio\"")
+  string(FIND "${DOC}" "${KEY}" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "${JSON} is missing required key ${KEY}")
+  endif()
+endforeach()
+# Every protocol of the four-way comparison must have rows.
+foreach(PROTO "Lock" "RWLock" "BravoRW" "SOLERO")
+  string(FIND "${DOC}" "\"protocol\": \"${PROTO}\"" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "${JSON} has no rows for protocol ${PROTO}")
+  endif()
+endforeach()
+# No row may carry a malformed (empty/nan/inf) throughput.
+foreach(BAD "\"ops_per_sec\": }" "\"ops_per_sec\": ," "nan" "inf")
+  string(FIND "${DOC}" "${BAD}" POS)
+  if(NOT POS EQUAL -1)
+    message(FATAL_ERROR "${JSON} contains malformed value near '${BAD}'")
+  endif()
+endforeach()

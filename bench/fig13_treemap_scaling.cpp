@@ -10,6 +10,9 @@
 /// and stays above Lock/RWLock at every thread count; failure ratio
 /// reaches 35% at 16 threads (Figure 15).
 ///
+/// Beyond the paper: the BRAVO column and --json output, exactly as in
+/// fig12_hashmap_scaling.
+///
 //===----------------------------------------------------------------------===//
 
 #include "MapBenchRunner.h"
@@ -20,36 +23,43 @@ namespace {
 
 using TreeMapT = JavaTreeMap<int64_t, int64_t>;
 
-void runVariant(BenchEnv &Env, const char *Title, unsigned WritePct,
-                bool FineGrained, const std::vector<int> &Threads,
-                int Rounds) {
+void runVariant(BenchEnv &Env, JsonReport &Json, const char *VariantId,
+                const char *Title, unsigned WritePct,
+                const std::vector<int> &Threads, int Rounds) {
   std::printf("\n--- %s ---\n", Title);
-  TablePrinter T({"threads", "Lock ops/s", "RWLock ops/s", "SOLERO ops/s",
-                  "SOLERO norm", "Lock rmw/op", "SOLERO rmw/op",
-                  "SOLERO fail%"});
+  TablePrinter T({"threads", "Lock ops/s", "RWLock ops/s", "BRAVO ops/s",
+                  "SOLERO ops/s", "SOLERO norm", "RWLock rmw/op",
+                  "BRAVO rmw/op", "SOLERO rmw/op", "SOLERO fail%"});
   double LockBase = 0;
   for (int N : Threads) {
     int Maps = 1;
-    (void)FineGrained;
     std::vector<TrialRunner> Runners;
     Runners.push_back(
         makeMapRunner<TreeMapT, TasukiPolicy>(Env, "Lock", N, WritePct, Maps));
     Runners.push_back(
         makeMapRunner<TreeMapT, RwPolicy>(Env, "RWLock", N, WritePct, Maps));
+    Runners.push_back(makeMapRunner<TreeMapT, BravoRwPolicy>(
+        Env, "BravoRW", N, WritePct, Maps));
     Runners.push_back(
         makeMapRunner<TreeMapT, SoleroPolicy>(Env, "SOLERO", N, WritePct,
                                               Maps));
     std::vector<BenchResult> R = runInterleavedBest(Runners, Rounds);
-    const BenchResult &Lock = R[0], &Rw = R[1], &So = R[2];
+    const BenchResult &Lock = R[0], &Rw = R[1], &Bravo = R[2], &So = R[3];
     if (LockBase == 0)
       LockBase = Lock.OpsPerSec;
     T.addRow({std::to_string(N), TablePrinter::num(Lock.OpsPerSec, 0),
               TablePrinter::num(Rw.OpsPerSec, 0),
+              TablePrinter::num(Bravo.OpsPerSec, 0),
               TablePrinter::num(So.OpsPerSec, 0),
               TablePrinter::num(So.OpsPerSec / LockBase, 2),
-              TablePrinter::num(Lock.rmwPerOp(), 2),
+              TablePrinter::num(Rw.rmwPerOp(), 2),
+              TablePrinter::num(Bravo.rmwPerOp(), 2),
               TablePrinter::num(So.rmwPerOp(), 2),
               TablePrinter::percent(So.failureRatio(), 1)});
+    Json.add(VariantId, "Lock", N, Lock);
+    Json.add(VariantId, "RWLock", N, Rw);
+    Json.add(VariantId, "BravoRW", N, Bravo);
+    Json.add(VariantId, "SOLERO", N, So);
   }
   T.print();
 }
@@ -64,7 +74,8 @@ int main(int Argc, char **Argv) {
               "count; 35% failure ratio at 16 threads.");
   std::vector<int> Threads = Env.threadList({1, 2, 4, 8, 16});
   int Rounds = static_cast<int>(Env.Args.getInt("rounds", Env.Quick ? 1 : 3));
-  runVariant(Env, "(a) 0% writes", 0, false, Threads, Rounds);
-  runVariant(Env, "(b) 5% writes", 5, false, Threads, Rounds);
-  return 0;
+  JsonReport Json("fig13");
+  runVariant(Env, Json, "a", "(a) 0% writes", 0, Threads, Rounds);
+  runVariant(Env, Json, "b", "(b) 5% writes", 5, Threads, Rounds);
+  return Json.write(Env.JsonPath) ? 0 : 1;
 }

@@ -17,6 +17,7 @@
 #include "core/SoleroLock.h"
 #include "jit/Interpreter.h"
 #include "jit/MethodBuilder.h"
+#include "locks/BravoRwLock.h"
 #include "locks/ReadWriteLock.h"
 #include "support/Backoff.h"
 #include "locks/SeqLock.h"
@@ -174,6 +175,74 @@ void BM_SoleroReadMostlyUpgrade(benchmark::State &State) {
     });
 }
 BENCHMARK(BM_SoleroReadMostlyUpgrade);
+
+// --- Reader-indication isolation ------------------------------------------
+// The three mechanisms the fig12 four-way comparison rests on, stripped to
+// their indication cost alone: a centralized atomic RMW pair (RWLock's
+// model), a BRAVO visible-readers slot store + fence pair, and SOLERO's
+// fully elided read entry (BM_SoleroElidedReadSection above).
+
+void BM_ReadIndicateCentralizedRmw(benchmark::State &State) {
+  // The j.u.c.-style cost model: one RMW on shared state to arrive, one to
+  // depart, both hitting the same cache line from every reader.
+  static std::atomic<uint64_t> Central{0};
+  for (auto _ : State) {
+    Central.fetch_add(1, std::memory_order_acquire);
+    Central.fetch_sub(1, std::memory_order_release);
+  }
+}
+BENCHMARK(BM_ReadIndicateCentralizedRmw);
+
+void BM_ReadIndicateBravoSlotStore(benchmark::State &State) {
+  // BRAVO's biased publication: plain store into a thread-owned slot, a
+  // store-load fence for the Dekker pairing with revocation, and the
+  // release store that retires the indication.
+  int LockStandIn = 0;
+  BravoReaderTable::Slot &S =
+      BravoReaderTable::instance().slotFor(&LockStandIn);
+  for (auto _ : State) {
+    S.store(&LockStandIn, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    benchmark::DoNotOptimize(S.load(std::memory_order_acquire));
+    S.store(nullptr, std::memory_order_release);
+  }
+}
+BENCHMARK(BM_ReadIndicateBravoSlotStore);
+
+void BM_BravoRwReadSection(benchmark::State &State) {
+  // Full biased read path (publication + hold bookkeeping). First
+  // iteration acquires through the slow path and enables the bias.
+  BravoRwLock L(ctx());
+  for (auto _ : State) {
+    L.readLock();
+    L.readUnlock();
+  }
+}
+BENCHMARK(BM_BravoRwReadSection);
+
+void BM_BravoRwReadSectionUnbiased(benchmark::State &State) {
+  // Bias disabled: the BRAVO layer's pass-through overhead on top of the
+  // underlying centralized lock.
+  BravoConfig Cfg;
+  Cfg.BiasEnabled = false;
+  BravoRwLock L(ctx(), Cfg);
+  for (auto _ : State) {
+    L.readLock();
+    L.readUnlock();
+  }
+}
+BENCHMARK(BM_BravoRwReadSectionUnbiased);
+
+void BM_BravoRwWriteSection(benchmark::State &State) {
+  // Write path with bias never re-enabled (no readers): after the first
+  // revocation this must converge to BM_RwLockWriteSection.
+  BravoRwLock L(ctx());
+  for (auto _ : State) {
+    L.writeLock();
+    L.writeUnlock();
+  }
+}
+BENCHMARK(BM_BravoRwWriteSection);
 
 void BM_RwLockReadSection(benchmark::State &State) {
   ReadWriteLock L(ctx());

@@ -83,6 +83,41 @@ int main(int Argc, char **Argv) {
   }
   T.print();
 
+  if (Env.Args.getBool("bravo", false)) {
+    // Reader-indication observability (beyond the paper): the same map
+    // traffic under the centralized RWLock vs the BRAVO-biased lock.
+    // rmw/op vs st/op is the whole story — BRAVO converts the shared-state
+    // CAS pair per read into two plain slot stores — and "revocations"
+    // shows the adaptive policy charging writers for the bias.
+    int Threads = static_cast<int>(Env.Args.getInt("bravo-threads", 2));
+    std::printf("\n--- RWLock vs BravoRW lock statistics (--bravo, %d "
+                "threads) ---\n",
+                Threads);
+    TablePrinter B({"workload", "protocol", "ops/s", "lockM/s", "rmw/op",
+                    "st/op", "read-only%"});
+    const struct {
+      const char *Name;
+      unsigned WritePercent;
+    } Rows[] = {{"HashMap 0% writes", 0},
+                {"HashMap 5% writes", 5},
+                {"HashMap 100% writes", 100}};
+    for (const auto &Row : Rows) {
+      BenchResult Rw = runMapBench<HashMapT, RwPolicy>(Env, Threads,
+                                                       Row.WritePercent);
+      BenchResult Bravo = runMapBench<HashMapT, BravoRwPolicy>(
+          Env, Threads, Row.WritePercent);
+      for (const auto &Cell :
+           {std::make_pair("RWLock", &Rw), std::make_pair("BravoRW", &Bravo)})
+        B.addRow({Row.Name, Cell.first,
+                  TablePrinter::num(Cell.second->OpsPerSec, 0),
+                  TablePrinter::num(Cell.second->locksPerSec() / 1e6, 2),
+                  TablePrinter::num(Cell.second->rmwPerOp(), 2),
+                  TablePrinter::num(Cell.second->storesPerOp(), 2),
+                  TablePrinter::percent(Cell.second->readOnlyRatio(), 1)});
+    }
+    B.print();
+  }
+
   if (Env.Args.getBool("adaptive", false)) {
     // Controller observability (beyond the paper): per-state speculation
     // attempts and policy transitions of Adaptive-SOLERO on map traffic

@@ -51,7 +51,8 @@ int main(int Argc, char **Argv) {
 
   const TortureProtocol Protocols[] = {
       TortureProtocol::Solero, TortureProtocol::Tasuki,
-      TortureProtocol::SeqLock, TortureProtocol::RWLock};
+      TortureProtocol::SeqLock, TortureProtocol::RWLock,
+      TortureProtocol::BravoRW};
 
   TablePrinter T({"protocol", "thr", "wr%", "storm-us", "seed", "reads",
                   "writes", "throws", "trips", "maxop-us", "firings",

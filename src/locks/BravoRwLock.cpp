@@ -1,0 +1,221 @@
+//===- locks/BravoRwLock.cpp - BRAVO biased reader-writer lock ------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "locks/BravoRwLock.h"
+
+#include <chrono>
+
+#include "support/Assert.h"
+#include "support/Backoff.h"
+#include "support/NumaTopology.h"
+
+using namespace solero;
+
+// --- BravoReaderTable ------------------------------------------------------
+
+BravoReaderTable &BravoReaderTable::instance() {
+  static BravoReaderTable Table;
+  return Table;
+}
+
+BravoReaderTable::BravoReaderTable()
+    : Partitions(NumaTopology::instance().nodeCount()),
+      GroupsPerPartition(ThreadRegistry::MaxThreads),
+      Groups(new Group[Partitions * GroupsPerPartition]),
+      HighWater(new std::atomic<uint32_t>[Partitions]) {
+  for (std::size_t G = 0; G < Partitions * GroupsPerPartition; ++G)
+    for (Slot &S : Groups[G].Slots)
+      S.store(nullptr, std::memory_order_relaxed);
+  for (unsigned P = 0; P < Partitions; ++P)
+    HighWater[P].store(0, std::memory_order_relaxed);
+}
+
+BravoReaderTable::Slot &BravoReaderTable::slotFor(const void *Lock) {
+  // The group is pinned per thread on first publication: one cache line in
+  // the current NUMA node's partition, at the thread's registry slot. The
+  // cache holds for the thread's lifetime (registry slots never change
+  // while a thread lives), so steady-state cost is a TLS load plus the
+  // lock-address mix.
+  struct GroupRef {
+    Group *G = nullptr;
+    uint64_t ThreadMix = 0;
+  };
+  static thread_local GroupRef Ref;
+  if (!Ref.G) {
+    ThreadState &TS = ThreadRegistry::current();
+    unsigned Node = NumaTopology::instance().currentNode();
+    if (Node >= Partitions)
+      Node = 0;
+    Ref.G = &Groups[static_cast<std::size_t>(Node) * GroupsPerPartition +
+                    TS.slot()];
+    Ref.ThreadMix =
+        (static_cast<uint64_t>(TS.slot()) + 1) * 0xBF58476D1CE4E5B9ull;
+    std::atomic<uint32_t> &HW = HighWater[Node];
+    uint32_t Cur = HW.load(std::memory_order_relaxed);
+    while (Cur < TS.slot() + 1 &&
+           !HW.compare_exchange_weak(Cur, TS.slot() + 1,
+                                     std::memory_order_acq_rel))
+      ;
+  }
+  uint64_t H =
+      (static_cast<uint64_t>(reinterpret_cast<uintptr_t>(Lock)) >> 4) *
+          0x9E3779B97F4A7C15ull ^
+      Ref.ThreadMix;
+  return Ref.G->Slots[(H >> 32) & (SlotsPerGroup - 1)];
+}
+
+uint64_t BravoReaderTable::waitForReadersOf(const void *Lock) const {
+  uint64_t Drained = 0;
+  for (unsigned P = 0; P < Partitions; ++P) {
+    std::size_t Used = HighWater[P].load(std::memory_order_acquire);
+    const Group *Base = &Groups[static_cast<std::size_t>(P) *
+                                GroupsPerPartition];
+    for (std::size_t G = 0; G < Used; ++G)
+      for (const Slot &S : Base[G].Slots)
+        if (S.load(std::memory_order_acquire) == Lock) {
+          ++Drained;
+          while (S.load(std::memory_order_acquire) == Lock)
+            cpuRelax();
+        }
+  }
+  return Drained;
+}
+
+uint64_t BravoReaderTable::countReadersOf(const void *Lock) const {
+  uint64_t N = 0;
+  for (unsigned P = 0; P < Partitions; ++P) {
+    std::size_t Used = HighWater[P].load(std::memory_order_acquire);
+    const Group *Base = &Groups[static_cast<std::size_t>(P) *
+                                GroupsPerPartition];
+    for (std::size_t G = 0; G < Used; ++G)
+      for (const Slot &S : Base[G].Slots)
+        if (S.load(std::memory_order_acquire) == Lock)
+          ++N;
+  }
+  return N;
+}
+
+// --- BravoRwLock -----------------------------------------------------------
+
+BravoRwLock::BravoRwLock(RuntimeContext &Ctx, BravoConfig Config)
+    : Config(Config), Underlying(Ctx),
+      FastHolds(new uint32_t[ThreadRegistry::MaxThreads]()) {}
+
+int64_t BravoRwLock::nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void BravoRwLock::readLock() {
+  ThreadState &TS = ThreadRegistry::current();
+  uint32_t &Fast = FastHolds[TS.slot()];
+  if (Fast > 0) {
+    // Reentrant under an existing biased hold: the published slot already
+    // keeps writers out; no second publication needed.
+    ++Fast;
+    return;
+  }
+  if (Config.BiasEnabled && RBias.load(std::memory_order_acquire)) {
+    BravoReaderTable::Slot &S = BravoReaderTable::instance().slotFor(this);
+    // Occupied means this thread already advertises a *different* lock
+    // that collides in its group — that lock's hold, not ours.
+    if (S.load(std::memory_order_relaxed) == nullptr) {
+      S.store(this, std::memory_order_relaxed);
+      ++TS.Counters.LockWordStores;
+      // Dekker against revokeBias(): our publication must be ordered
+      // before the bias recheck, the writer's bias clear before its table
+      // scan. Either the writer sees the slot or we see the cleared bias.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (RBias.load(std::memory_order_acquire)) {
+        Fast = 1;
+        return;
+      }
+      // A revocation raced in: withdraw and queue on the underlying lock.
+      S.store(nullptr, std::memory_order_release);
+    }
+  }
+  Underlying.readLock();
+  maybeReenableBias();
+}
+
+void BravoRwLock::readUnlock() {
+  ThreadState &TS = ThreadRegistry::current();
+  uint32_t &Fast = FastHolds[TS.slot()];
+  if (Fast > 0) {
+    if (--Fast == 0) {
+      BravoReaderTable::Slot &S = BravoReaderTable::instance().slotFor(this);
+      SOLERO_CHECK(S.load(std::memory_order_relaxed) == this,
+                   "biased read hold without a matching table publication");
+      // Release: the critical section's reads must be ordered before a
+      // revoking writer (which acquire-loads the slot) can proceed.
+      S.store(nullptr, std::memory_order_release);
+      ++TS.Counters.LockWordStores;
+    }
+    return;
+  }
+  Underlying.readUnlock();
+}
+
+void BravoRwLock::writeLock() {
+  Underlying.writeLock();
+  // RBias can only be true on a fresh (non-reentrant) acquisition: readers
+  // re-enable it exclusively while holding the underlying read lock, which
+  // cannot overlap any write hold.
+  if (RBias.load(std::memory_order_acquire))
+    revokeBias();
+}
+
+void BravoRwLock::writeUnlock() { Underlying.writeUnlock(); }
+
+void BravoRwLock::revokeBias() {
+  int64_t Start = nowNs();
+  RBias.store(false, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  BravoReaderTable::instance().waitForReadersOf(this);
+  int64_t Cost = nowNs() - Start;
+  // Adaptive self-disabling (the Fissile-style degradation bound): bias
+  // stays off for InhibitMultiplier x the measured revocation cost, so a
+  // write-heavy lock pays at most ~1/InhibitMultiplier extra and converges
+  // to the plain underlying lock. The floor covers coarse clocks reading
+  // an empty scan as 0 ns.
+  int64_t Inhibit = Cost * static_cast<int64_t>(Config.InhibitMultiplier);
+  if (Inhibit < 1000)
+    Inhibit = 1000;
+  InhibitUntil.store(nowNs() + Inhibit, std::memory_order_relaxed);
+  Revocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BravoRwLock::maybeReenableBias() {
+  if (!Config.BiasEnabled || RBias.load(std::memory_order_relaxed))
+    return;
+  // Downgrade guard: a writer taking its own read lock must not re-enable
+  // bias, or a biased reader could enter alongside the held write lock.
+  if (Underlying.writeHeldByCurrentThread())
+    return;
+  int64_t Until = InhibitUntil.load(std::memory_order_relaxed);
+  if (Until != 0) {
+    // Inside or past an inhibit window. Probing the clock on every
+    // slow-path read would tax exactly the mixed workloads the inhibit
+    // window is parking bias for, so sample: one clock read per 64
+    // slow-path acquisitions per thread. Re-arming is only delayed by
+    // those ~64 reads once the window expires.
+    static thread_local uint32_t Probe = 0;
+    if ((++Probe & 63) != 0)
+      return;
+    if (nowNs() < Until)
+      return;
+  }
+  RBias.store(true, std::memory_order_release);
+}
+
+uint32_t BravoRwLock::readerCount() const {
+  // Biased readers contribute one per published slot (nested holds on one
+  // slot count once); slow-path readers come from the underlying count.
+  return Underlying.readerCount() +
+         static_cast<uint32_t>(
+             BravoReaderTable::instance().countReadersOf(this));
+}

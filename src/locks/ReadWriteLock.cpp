@@ -12,7 +12,7 @@
 using namespace solero;
 
 ReadWriteLock::ReadWriteLock(RuntimeContext &Ctx)
-    : Ctx(Ctx), ReadHolds(new uint32_t[MaxThreads]()) {}
+    : Ctx(Ctx), ReadHolds(new uint32_t[ThreadRegistry::MaxThreads]()) {}
 
 uint64_t ReadWriteLock::selfOwner() const {
   return static_cast<uint64_t>(ThreadRegistry::current().slot()) + 1;
@@ -30,7 +30,9 @@ void ReadWriteLock::readLock() {
     bool WriterGate = WaitingWriters.load(std::memory_order_relaxed) != 0 &&
                       !OwnWrite && !Reentrant;
     if (!WriterBlocked && !WriterGate) {
-      SOLERO_CHECK(readersOf(S) != ReaderMask, "reader count overflow");
+      SOLERO_CHECK(readersOf(S) != ReaderMask,
+                   "reader count saturated: 2^16-1 concurrent read holds "
+                   "would overflow into the writer-recursion bits");
       ++TS.Counters.AtomicRmws;
       if (State.compare_exchange_weak(S, S + 1, std::memory_order_acquire,
                                       std::memory_order_relaxed)) {
@@ -57,6 +59,8 @@ void ReadWriteLock::readUnlock() {
   --Holds;
   ++TS.Counters.AtomicRmws;
   uint64_t Prev = State.fetch_sub(1, std::memory_order_release);
+  SOLERO_CHECK(readersOf(Prev) != 0,
+               "readUnlock underflowed the shared reader count");
   if (readersOf(Prev) == 1 &&
       WaitingWriters.load(std::memory_order_acquire) != 0) {
     std::lock_guard<std::mutex> L(Mu);

@@ -94,8 +94,9 @@ private:
   std::condition_variable WritersCv;
 
   // Per-thread read-hold counts (indexed by ThreadState slot); lets
-  // reentrant readers bypass the writer-preference gate.
-  static constexpr std::size_t MaxThreads = 512;
+  // reentrant readers bypass the writer-preference gate. Sized from
+  // ThreadRegistry::MaxThreads, which the registry enforces at
+  // registration, so slot() can never index past the array.
   std::unique_ptr<uint32_t[]> ReadHolds;
 };
 

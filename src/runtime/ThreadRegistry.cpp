@@ -45,6 +45,9 @@ ThreadState *ThreadRegistry::registerThread() {
   uint32_t Slot = 0;
   while (Slot < Live.size() && Live[Slot] != nullptr)
     ++Slot;
+  SOLERO_CHECK(Slot < MaxThreads,
+               "thread registry full: more than ThreadRegistry::MaxThreads "
+               "concurrently live threads (per-slot tables would overflow)");
   if (Slot == Live.size())
     Live.push_back(nullptr);
   auto *TS = new ThreadState();

@@ -218,6 +218,14 @@ extern thread_local ThreadState *CurrentThreadState;
 /// (and thus tid bits) are recycled.
 class ThreadRegistry {
 public:
+  /// Hard capacity on concurrently registered threads. Slots are recycled
+  /// at thread exit, so this bounds *live* threads, not lifetime threads.
+  /// Components that key per-thread arrays by slot() (ReadWriteLock's
+  /// read-hold table, the BRAVO visible-readers table) size them from this
+  /// constant; registerThread() aborts with a diagnostic rather than hand
+  /// out a slot those arrays would index out of bounds.
+  static constexpr uint32_t MaxThreads = 1024;
+
   /// The process-wide registry.
   static ThreadRegistry &instance();
 

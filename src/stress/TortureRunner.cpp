@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/SoleroLock.h"
+#include "locks/BravoRwLock.h"
 #include "locks/ReadWriteLock.h"
 #include "locks/SeqLock.h"
 #include "locks/TasukiLock.h"
@@ -167,6 +168,26 @@ public:
 
 private:
   SeqLock L;
+};
+
+class BravoAdapter {
+public:
+  explicit BravoAdapter(RuntimeContext &Ctx) : L(Ctx) {}
+
+  template <typename Fn> auto read(Fn &&F) {
+    return L.synchronizedReadOnly([&](ReadGuard &) { return F(); });
+  }
+  template <typename Fn> void write(Fn &&F) {
+    L.synchronizedWrite([&] { F(); });
+  }
+  /// Clean means no indication left behind in either layer: the biased
+  /// visible-readers slots *and* the underlying centralized count.
+  bool finalStateClean() { return L.readerCount() == 0; }
+  static constexpr bool HasProtocolCounters = true;
+  static constexpr bool HasElision = false;
+
+private:
+  BravoRwLock L;
 };
 
 /// The async-event storm: hammers every thread's poll flag at the
@@ -328,6 +349,8 @@ const char *solero::stress::tortureProtocolName(TortureProtocol P) {
     return "SeqLock";
   case TortureProtocol::RWLock:
     return "RWLock";
+  case TortureProtocol::BravoRW:
+    return "BravoRW";
   }
   return "<unknown>";
 }
@@ -365,6 +388,8 @@ TortureReport solero::stress::runTorture(const TortureConfig &Config) {
     return runWithAdapter<SeqAdapter>(Config);
   case TortureProtocol::RWLock:
     return runWithAdapter<RwAdapter>(Config);
+  case TortureProtocol::BravoRW:
+    return runWithAdapter<BravoAdapter>(Config);
   }
   return TortureReport{};
 }

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Drives one of the four lock protocols (SOLERO, Tasuki, seqlock, RW)
+/// Drives one of the lock protocols (SOLERO, Tasuki, seqlock, RW, BRAVO)
 /// through an adversarial mixed read/write workload under seeded schedule
 /// perturbation (stress/SchedulePerturber.h) and an optional async-event
 /// storm, and checks invariant oracles:
@@ -42,7 +42,7 @@ namespace solero {
 namespace stress {
 
 /// Which lock protocol the torture run drives.
-enum class TortureProtocol { Solero, Tasuki, SeqLock, RWLock };
+enum class TortureProtocol { Solero, Tasuki, SeqLock, RWLock, BravoRW };
 
 const char *tortureProtocolName(TortureProtocol P);
 

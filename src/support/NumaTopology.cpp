@@ -1,0 +1,106 @@
+//===- support/NumaTopology.cpp - NUMA/CPU topology detection -------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/NumaTopology.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+using namespace solero;
+
+namespace {
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into the cpu -> node map,
+/// growing the map as needed. Returns false on malformed input.
+bool applyCpuList(const std::string &List, unsigned Node,
+                  std::vector<uint8_t> &CpuToNode) {
+  const char *P = List.c_str();
+  while (*P) {
+    char *End = nullptr;
+    long Lo = std::strtol(P, &End, 10);
+    if (End == P || Lo < 0)
+      return false;
+    long Hi = Lo;
+    P = End;
+    if (*P == '-') {
+      ++P;
+      Hi = std::strtol(P, &End, 10);
+      if (End == P || Hi < Lo)
+        return false;
+      P = End;
+    }
+    for (long Cpu = Lo; Cpu <= Hi; ++Cpu) {
+      if (static_cast<std::size_t>(Cpu) >= CpuToNode.size())
+        CpuToNode.resize(static_cast<std::size_t>(Cpu) + 1, 0);
+      CpuToNode[static_cast<std::size_t>(Cpu)] = static_cast<uint8_t>(Node);
+    }
+    if (*P == ',')
+      ++P;
+    else if (*P && *P != '\n')
+      return false;
+  }
+  return true;
+}
+
+/// Reads one line of a small sysfs file; empty string on failure.
+std::string readLine(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return {};
+  char Buf[4096];
+  std::string Line;
+  if (std::fgets(Buf, sizeof(Buf), F))
+    Line = Buf;
+  std::fclose(F);
+  while (!Line.empty() && (Line.back() == '\n' || Line.back() == '\r'))
+    Line.pop_back();
+  return Line;
+}
+
+} // namespace
+
+unsigned NumaTopology::currentCpu() {
+#if defined(__linux__)
+  int Cpu = sched_getcpu();
+  return Cpu >= 0 ? static_cast<unsigned>(Cpu) : 0u;
+#else
+  return 0u;
+#endif
+}
+
+NumaTopology NumaTopology::detect() {
+  NumaTopology T;
+#if defined(__linux__)
+  // Nodes are numbered densely in practice; a gap (offline node) ends the
+  // probe and the remaining CPUs fall back to node 0, which is safe for a
+  // placement hint. 255 caps the partition count, not real hardware.
+  std::vector<uint8_t> Map;
+  unsigned Node = 0;
+  for (; Node < 255; ++Node) {
+    std::string List = readLine("/sys/devices/system/node/node" +
+                                std::to_string(Node) + "/cpulist");
+    if (List.empty())
+      break;
+    if (!applyCpuList(List, Node, Map))
+      return T; // malformed sysfs: single-node fallback
+  }
+  if (Node > 0) {
+    T.Nodes = Node;
+    T.CpuToNode = std::move(Map);
+  }
+#endif
+  return T;
+}
+
+const NumaTopology &NumaTopology::instance() {
+  static const NumaTopology T = detect();
+  return T;
+}

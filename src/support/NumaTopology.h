@@ -1,0 +1,68 @@
+//===- support/NumaTopology.h - NUMA/CPU topology detection -----*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal NUMA topology map for node-local data placement. Detection reads
+/// the Linux sysfs node directory (`/sys/devices/system/node/node*/cpulist`)
+/// once at first use; on non-Linux hosts, restricted containers, or
+/// single-socket machines it degrades to one node covering every CPU, so
+/// callers can partition unconditionally.
+///
+/// The BRAVO visible-readers table partitions its slot groups by the node a
+/// thread first publishes from, keeping reader indication writes node-local
+/// (the coherence traffic a centralized reader count causes is worst across
+/// sockets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_SUPPORT_NUMATOPOLOGY_H
+#define SOLERO_SUPPORT_NUMATOPOLOGY_H
+
+#include <cstdint>
+#include <vector>
+
+namespace solero {
+
+/// Immutable snapshot of the host's NUMA node / CPU layout.
+class NumaTopology {
+public:
+  /// The process-wide topology (detected once, then cached).
+  static const NumaTopology &instance();
+
+  /// Number of NUMA nodes; at least 1.
+  unsigned nodeCount() const { return Nodes; }
+
+  /// Node of \p Cpu; 0 for CPUs the map does not cover (hotplug, parse
+  /// failure) so the result is always a valid partition index.
+  unsigned nodeOf(unsigned Cpu) const {
+    return Cpu < CpuToNode.size() ? CpuToNode[Cpu] : 0;
+  }
+
+  /// CPU the calling thread is currently running on (0 where the OS does
+  /// not expose it). Racy by nature: the scheduler may migrate the thread
+  /// the next instant, so callers must treat it as a placement hint only.
+  static unsigned currentCpu();
+
+  /// Node of the calling thread's current CPU (placement hint; see
+  /// currentCpu()).
+  unsigned currentNode() const { return nodeOf(currentCpu()); }
+
+  /// Builds the map from an explicit cpu -> node table (testing hook; the
+  /// detected instance() is what production code uses).
+  NumaTopology(unsigned NodeCount, std::vector<uint8_t> CpuNodeMap)
+      : Nodes(NodeCount ? NodeCount : 1), CpuToNode(std::move(CpuNodeMap)) {}
+
+private:
+  NumaTopology() = default;
+  static NumaTopology detect();
+
+  unsigned Nodes = 1;
+  std::vector<uint8_t> CpuToNode; ///< indexed by CPU id
+};
+
+} // namespace solero
+
+#endif // SOLERO_SUPPORT_NUMATOPOLOGY_H

@@ -25,6 +25,7 @@
 #include <memory>
 
 #include "core/SoleroLock.h"
+#include "locks/BravoRwLock.h"
 #include "locks/ReadWriteLock.h"
 #include "locks/TasukiLock.h"
 #include "runtime/RuntimeContext.h"
@@ -68,6 +69,31 @@ public:
 
 private:
   std::unique_ptr<ReadWriteLock> Lock;
+};
+
+/// BRAVO-biased read-write lock (locks/BravoRwLock.h): the state-of-the-art
+/// reader path SOLERO is judged against on the scaling curves. Same
+/// pointer indirection as RwPolicy so the comparison isolates the reader
+/// indication mechanism, not the memory layout.
+class BravoRwPolicy {
+public:
+  explicit BravoRwPolicy(RuntimeContext &Ctx,
+                         BravoConfig Config = BravoConfig())
+      : Lock(std::make_unique<BravoRwLock>(Ctx, Config)) {}
+
+  template <typename Fn> decltype(auto) read(Fn &&F) {
+    return Lock->synchronizedReadOnly(std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) write(Fn &&F) {
+    return Lock->synchronizedWrite(std::forward<Fn>(F));
+  }
+
+  static const char *name() { return "BravoRW"; }
+
+  BravoRwLock &protocol() { return *Lock; }
+
+private:
+  std::unique_ptr<BravoRwLock> Lock;
 };
 
 /// SOLERO with configurable elision / barriers.

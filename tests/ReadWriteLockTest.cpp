@@ -151,6 +151,22 @@ TEST_F(ReadWriteLockTest, SynchronizedHelpersReleaseOnException) {
   EXPECT_EQ(L.readerCount(), 0u);
 }
 
+TEST_F(ReadWriteLockTest, ReaderCountSaturationAborts) {
+  // The reader count lives in 16 bits of the packed word; hold 2^16-1 and
+  // the next acquisition must abort with a diagnostic instead of silently
+  // overflowing into the writer-recursion bits (which would corrupt the
+  // writer side and break mutual exclusion).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  constexpr uint32_t Max = 0xffff;
+  for (uint32_t I = 0; I < Max; ++I)
+    L.readLock();
+  EXPECT_EQ(L.readerCount(), Max);
+  EXPECT_DEATH(L.readLock(), "reader count saturated");
+  for (uint32_t I = 0; I < Max; ++I)
+    L.readUnlock();
+  EXPECT_EQ(L.readerCount(), 0u);
+}
+
 TEST_F(ReadWriteLockTest, ReadAcquisitionCountsAtomicRmws) {
   // The cost model the paper cites: every read acquisition performs an
   // atomic RMW (unlike SOLERO's elided readers).

@@ -74,6 +74,15 @@ TEST(Torture, RWLockOraclesHoldUnderPerturbation) {
   EXPECT_TRUE(R.passed()) << R.summary();
 }
 
+TEST(Torture, BravoRWOraclesHoldUnderPerturbation) {
+  TortureConfig C = smokeConfig(TortureProtocol::BravoRW, 19);
+  C.GuestThrowPercent = 0; // pessimistic readers propagate throws as-is
+  TortureReport R = runTorture(C);
+  EXPECT_TRUE(R.passed()) << R.summary();
+  EXPECT_GT(R.Reads, 0u);
+  EXPECT_GT(R.Writes, 0u);
+}
+
 // Counter aggregation must be data-race-free: worker threads increment
 // their RelaxedCounter cells while another thread aggregates. Before the
 // counters became relaxed atomics this was a plain-uint64_t read/write
