@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "support/CliParser.h"
@@ -45,10 +46,15 @@ namespace solero {
 /// (bench/RunBenchJsonSmoke.cmake).
 class JsonReport {
 public:
+  /// One extra numeric column appended to a row (the KV service rows carry
+  /// p50_us/p99_us/... beyond the fixed figure schema).
+  using Extra = std::pair<std::string, double>;
+
   explicit JsonReport(std::string Figure) : Figure(std::move(Figure)) {}
 
   void add(const std::string &Variant, const std::string &Protocol,
-           int Threads, const BenchResult &R) {
+           int Threads, const BenchResult &R,
+           std::vector<Extra> Extras = {}) {
     Row Entry;
     Entry.Variant = Variant;
     Entry.Protocol = Protocol;
@@ -57,6 +63,7 @@ public:
     Entry.RmwPerOp = R.rmwPerOp();
     Entry.StoresPerOp = R.storesPerOp();
     Entry.FailureRatio = R.failureRatio();
+    Entry.Extras = std::move(Extras);
     Rows.push_back(std::move(Entry));
   }
 
@@ -79,10 +86,13 @@ public:
                    "%s\n    {\"variant\": \"%s\", \"protocol\": \"%s\", "
                    "\"threads\": %d, \"ops_per_sec\": %.6g, "
                    "\"rmw_per_op\": %.6g, \"stores_per_op\": %.6g, "
-                   "\"failure_ratio\": %.6g}",
+                   "\"failure_ratio\": %.6g",
                    I ? "," : "", escaped(R.Variant).c_str(),
                    escaped(R.Protocol).c_str(), R.Threads, R.OpsPerSec,
                    R.RmwPerOp, R.StoresPerOp, R.FailureRatio);
+      for (const Extra &E : R.Extras)
+        std::fprintf(F, ", \"%s\": %.6g", escaped(E.first).c_str(), E.second);
+      std::fprintf(F, "}");
     }
     std::fprintf(F, "\n  ]\n}\n");
     std::fclose(F);
@@ -98,6 +108,7 @@ private:
     double RmwPerOp = 0;
     double StoresPerOp = 0;
     double FailureRatio = 0;
+    std::vector<Extra> Extras;
   };
 
   static std::string escaped(const std::string &S) {

@@ -1,9 +1,21 @@
 # Runs ${BENCH} with --json=${JSON} at a tiny size and schema-checks the
-# emitted file (the machine-readable side of the fig12/fig13/ablate
+# emitted file (the machine-readable side of the fig12/fig13/ablate/kv
 # harness). Portable cousin of RunGoldenDiff.cmake: bench throughput is
 # nondeterministic, so instead of a golden diff this validates structure —
 # the file exists, parses as the JsonReport shape, and contains a row for
-# every protocol the four-way comparison promises.
+# every protocol the comparison promises.
+#
+# Optional parameters (comma-separated; defaults match the figure benches):
+#   PROTOCOLS   protocols that must each have at least one row
+#   EXTRA_KEYS  additional JSON keys that must appear (KV tail-latency rows)
+if(NOT DEFINED PROTOCOLS)
+  set(PROTOCOLS "Lock,RWLock,BravoRW,SOLERO")
+endif()
+string(REPLACE "," ";" PROTOCOLS "${PROTOCOLS}")
+if(NOT DEFINED EXTRA_KEYS)
+  set(EXTRA_KEYS "")
+endif()
+string(REPLACE "," ";" EXTRA_KEYS "${EXTRA_KEYS}")
 execute_process(COMMAND ${BENCH} --quick --threads=${THREADS} --json=${JSON}
                 OUTPUT_VARIABLE STDOUT
                 RESULT_VARIABLE RC)
@@ -23,11 +35,18 @@ foreach(KEY "\"figure\"" "\"rows\"" "\"variant\"" "\"protocol\""
     message(FATAL_ERROR "${JSON} is missing required key ${KEY}")
   endif()
 endforeach()
-# Every protocol of the four-way comparison must have rows.
-foreach(PROTO "Lock" "RWLock" "BravoRW" "SOLERO")
+# Every protocol of the promised comparison must have rows.
+foreach(PROTO ${PROTOCOLS})
   string(FIND "${DOC}" "\"protocol\": \"${PROTO}\"" POS)
   if(POS EQUAL -1)
     message(FATAL_ERROR "${JSON} has no rows for protocol ${PROTO}")
+  endif()
+endforeach()
+# Bench-specific extra columns (e.g. the KV tail-latency percentiles).
+foreach(KEY ${EXTRA_KEYS})
+  string(FIND "${DOC}" "\"${KEY}\"" POS)
+  if(POS EQUAL -1)
+    message(FATAL_ERROR "${JSON} is missing required key \"${KEY}\"")
   endif()
 endforeach()
 # No row may carry a malformed (empty/nan/inf) throughput.

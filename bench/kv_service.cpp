@@ -1,0 +1,345 @@
+//===- bench/kv_service.cpp - Open-loop sharded KV service bench ----------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// The service-shaped evaluation the figure benchmarks cannot provide: a
+/// sharded KV store (kv/ShardedKvStore.h) guarded by each policy of the
+/// lock portfolio, driven by an *open-loop* load generator — Poisson
+/// arrivals at a configured offered rate, Zipfian key popularity, a mixed
+/// GET/PUT/DELETE/SCAN op stream, optional burst phases — with per-thread
+/// log-bucketed latency histograms. Each request is charged from its
+/// scheduled arrival time, so queueing delay shows up in the percentiles
+/// instead of silently throttling the arrival rate the way closed-loop
+/// harnesses do (the BRAVO paper's argument for tail-latency evaluation).
+///
+/// Per policy the bench steps the offered load geometrically until p99
+/// blows past the SLO (or completions fall behind arrivals) and reports
+/// the last sustainable rate as the saturation throughput.
+///
+///   kv_service                         # full sweep, all five policies
+///   kv_service --quick                 # CI smoke (tiny rates/windows)
+///   kv_service --policies=Lock,SOLERO  # subset
+///   kv_service --rate=30000 --slo-us=2000 --burst-factor=4
+///   kv_service --json=BENCH_kv.json    # machine-readable rows
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "kv/ShardedKvStore.h"
+#include "support/Backoff.h"
+#include "support/Distributions.h"
+#include "support/LatencyHistogram.h"
+#include "support/NumaTopology.h"
+#include "support/Stats.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace solero;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Spins/sleeps until \p TargetNs. Coarse sleep for long gaps, yield for
+/// medium ones (the 1-vCPU container needs other workers to run), relax
+/// for the final stretch.
+void waitUntil(uint64_t TargetNs) {
+  for (;;) {
+    uint64_t Now = nowNs();
+    if (Now >= TargetNs)
+      return;
+    uint64_t Gap = TargetNs - Now;
+    if (Gap > 300000)
+      std::this_thread::sleep_for(std::chrono::nanoseconds(Gap - 150000));
+    else if (Gap > 10000)
+      osYield();
+    else
+      cpuRelax();
+  }
+}
+
+struct KvBenchParams {
+  unsigned Shards = 16;
+  uint64_t Keys = 1 << 16;
+  double Zipf = 0.99;
+  unsigned PutPct = 3;
+  unsigned DelPct = 1;
+  unsigned ScanPct = 1; // GET is the remainder
+  int Threads = 4;
+  uint64_t DurationNs = 400ull * 1000 * 1000;
+  bool Pin = true;
+  uint64_t Seed = 0x5eed;
+  double BurstFactor = 1.0; // >1 enables burst phases
+  uint64_t BurstPeriodNs = 200ull * 1000 * 1000;
+  uint64_t BurstLenNs = 50ull * 1000 * 1000;
+};
+
+struct LoadResult {
+  BenchResult Bench; ///< Ops = completed, OpsPerSec = achieved
+  double OfferedPerSec = 0;
+  uint64_t P50Ns = 0, P99Ns = 0, P999Ns = 0, MaxNs = 0;
+  double HitRatio = 0;
+};
+
+/// One open-loop measurement of \p Store at \p OfferedPerSec total.
+template <typename Store>
+LoadResult runOpenLoop(Store &Store_, const KvBenchParams &P,
+                       const ZipfianSampler &Zipf, double OfferedPerSec) {
+  const int Threads = P.Threads;
+  const PoissonProcess Arrivals(OfferedPerSec / Threads);
+  std::vector<LatencyHistogram> Hists(static_cast<std::size_t>(Threads));
+  std::vector<uint64_t> Completed(static_cast<std::size_t>(Threads), 0);
+  std::vector<uint64_t> Hits(static_cast<std::size_t>(Threads), 0);
+  std::vector<uint64_t> Gets(static_cast<std::size_t>(Threads), 0);
+  SpinBarrier Start(static_cast<uint32_t>(Threads) + 1);
+  ProtocolCounters Before = ThreadRegistry::instance().totalCounters();
+
+  std::vector<std::thread> Workers;
+  Workers.reserve(static_cast<std::size_t>(Threads));
+  std::atomic<uint64_t> StartNs{0};
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      if (P.Pin)
+        NumaTopology::pinCurrentThreadToCpu(static_cast<unsigned>(T) %
+                                            NumaTopology::cpuCount());
+      Xoshiro256StarStar Rng(P.Seed * 0x9e3779b97f4a7c15ULL +
+                             static_cast<uint64_t>(T) + 1);
+      LatencyHistogram &Hist = Hists[static_cast<std::size_t>(T)];
+      Start.arriveAndWait();
+      const uint64_t Begin = StartNs.load(std::memory_order_acquire);
+      const uint64_t End = Begin + P.DurationNs;
+      uint64_t Next = Begin + Arrivals.nextGapNs(Rng);
+      uint64_t Done = 0, Hit = 0, Get = 0;
+      while (Next < End) {
+        if (nowNs() < Next)
+          waitUntil(Next);
+        // Dispatch one request. Latency is charged from the scheduled
+        // arrival: a thread running behind pays its backlog in the tail.
+        unsigned Roll = static_cast<unsigned>(Rng.nextBounded(100));
+        if (Roll < P.PutPct) {
+          Store_.put(Zipf.nextScrambled(Rng), Rng.next() >> 1);
+        } else if (Roll < P.PutPct + P.DelPct) {
+          Store_.remove(Zipf.nextScrambled(Rng));
+        } else if (Roll < P.PutPct + P.DelPct + P.ScanPct) {
+          // The scan reads atomics, so it cannot be optimized away.
+          auto St = Store_.scanShard(static_cast<unsigned>(
+              Rng.nextBounded(Store_.shardCount())));
+          (void)St;
+        } else {
+          ++Get;
+          if (Store_.get(Zipf.nextScrambled(Rng)).has_value())
+            ++Hit;
+        }
+        uint64_t DoneAt = nowNs();
+        Hist.record(DoneAt > Next ? DoneAt - Next : 1);
+        ++Done;
+        // Burst phases compress the arrival gaps by BurstFactor.
+        uint64_t Gap = Arrivals.nextGapNs(Rng);
+        if (P.BurstFactor > 1.0 &&
+            (Next - Begin) % P.BurstPeriodNs < P.BurstLenNs) {
+          Gap = static_cast<uint64_t>(static_cast<double>(Gap) /
+                                      P.BurstFactor);
+          if (Gap == 0)
+            Gap = 1;
+        }
+        Next += Gap;
+      }
+      Completed[static_cast<std::size_t>(T)] = Done;
+      Hits[static_cast<std::size_t>(T)] = Hit;
+      Gets[static_cast<std::size_t>(T)] = Get;
+    });
+
+  StartNs.store(nowNs(), std::memory_order_release);
+  Start.arriveAndWait();
+  for (auto &W : Workers)
+    W.join();
+  ProtocolCounters After = ThreadRegistry::instance().totalCounters();
+
+  LoadResult R;
+  R.OfferedPerSec = OfferedPerSec;
+  LatencyHistogram Merged;
+  uint64_t TotalGets = 0, TotalHits = 0;
+  for (int T = 0; T < Threads; ++T) {
+    Merged.mergeFrom(Hists[static_cast<std::size_t>(T)]);
+    R.Bench.Ops += Completed[static_cast<std::size_t>(T)];
+    TotalHits += Hits[static_cast<std::size_t>(T)];
+    TotalGets += Gets[static_cast<std::size_t>(T)];
+  }
+  R.Bench.Seconds = static_cast<double>(P.DurationNs) * 1e-9;
+  R.Bench.OpsPerSec = static_cast<double>(R.Bench.Ops) / R.Bench.Seconds;
+  R.Bench.Delta = countersDelta(Before, After);
+  R.P50Ns = Merged.quantile(0.50);
+  R.P99Ns = Merged.quantile(0.99);
+  R.P999Ns = Merged.quantile(0.999);
+  R.MaxNs = Merged.max();
+  R.HitRatio = safeRatio(TotalHits, TotalGets);
+  return R;
+}
+
+struct SweepParams {
+  double BaseRate = 30000;
+  double Factor = 1.6;
+  int Steps = 7;
+  uint64_t SloNs = 2000ull * 1000; // p99 SLO
+};
+
+double usOf(uint64_t Ns) { return static_cast<double>(Ns) * 1e-3; }
+
+/// Runs one policy: prefill once, then step the offered load until the
+/// SLO breaks. Emits one JSON row per step plus a saturation summary row.
+template <typename Policy>
+void runPolicy(BenchEnv &Env, JsonReport &Json, const KvBenchParams &P,
+               const SweepParams &Sweep, const ZipfianSampler &Zipf) {
+  kv::KvStoreConfig C;
+  C.Shards = P.Shards;
+  C.InitialShardCapacity = 64;
+  kv::ShardedKvStore<Policy> Store(*Env.Ctx, C);
+  SplitMix64 Fill(P.Seed);
+  for (uint64_t K = 0; K < P.Keys; ++K)
+    Store.put(K, Fill.next() >> 1);
+
+  std::printf("\n--- %s ---\n", Policy::name());
+  TablePrinter T({"offered/s", "achieved/s", "p50 us", "p99 us", "p999 us",
+                  "max us", "rmw/op", "hit%", "verdict"});
+  double Rate = Sweep.BaseRate;
+  LoadResult Sat;
+  bool Saturated = false;
+  for (int Step = 0; Step < Sweep.Steps; ++Step) {
+    LoadResult R = runOpenLoop(Store, P, Zipf, Rate);
+    bool MetSlo = R.P99Ns <= Sweep.SloNs &&
+                  R.Bench.OpsPerSec >= 0.9 * R.OfferedPerSec;
+    T.addRow({TablePrinter::num(R.OfferedPerSec, 0),
+              TablePrinter::num(R.Bench.OpsPerSec, 0),
+              TablePrinter::num(usOf(R.P50Ns), 1),
+              TablePrinter::num(usOf(R.P99Ns), 1),
+              TablePrinter::num(usOf(R.P999Ns), 1),
+              TablePrinter::num(usOf(R.MaxNs), 1),
+              TablePrinter::num(R.Bench.rmwPerOp(), 2),
+              TablePrinter::percent(R.HitRatio, 1),
+              MetSlo ? "ok" : "SATURATED"});
+    Json.add("sweep", Policy::name(), P.Threads, R.Bench,
+             {{"offered_per_sec", R.OfferedPerSec},
+              {"p50_us", usOf(R.P50Ns)},
+              {"p99_us", usOf(R.P99Ns)},
+              {"p999_us", usOf(R.P999Ns)},
+              {"max_us", usOf(R.MaxNs)},
+              {"hit_ratio", R.HitRatio}});
+    if (!MetSlo) {
+      Saturated = true;
+      break;
+    }
+    Sat = R;
+    Rate *= Sweep.Factor;
+  }
+  T.print();
+  double SatRate = Sat.Bench.OpsPerSec;
+  std::printf("%s saturation: %s ops/s within p99 SLO of %s us%s "
+              "(GET-path rmw/op %.2f, %llu shard resizes)\n",
+              Policy::name(), TablePrinter::num(SatRate, 0).c_str(),
+              TablePrinter::num(usOf(Sweep.SloNs), 0).c_str(),
+              Saturated ? "" : " [sweep exhausted, raise --sweep-steps]",
+              Sat.Bench.rmwPerOp(),
+              static_cast<unsigned long long>(Store.totalResizes()));
+  Json.add("saturation", Policy::name(), P.Threads, Sat.Bench,
+           {{"sat_ops_per_sec", SatRate},
+            {"slo_us", usOf(Sweep.SloNs)},
+            {"p99_us", usOf(Sat.P99Ns)}});
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  BenchEnv Env(Argc, Argv);
+  printBanner(
+      "KV service", "sharded store under open-loop Poisson/Zipfian load",
+      "beyond the paper: service-style tail-latency evaluation (ROADMAP "
+      "item 1);\nread-side elision/bias should hold p99 and saturation "
+      "above the plain Lock.");
+
+  KvBenchParams P;
+  P.Shards = static_cast<unsigned>(Env.Args.getInt("shards", 16));
+  P.Keys = static_cast<uint64_t>(
+      Env.Args.getInt("keys", Env.Quick ? 4096 : 1 << 16));
+  P.Zipf = Env.Args.getDouble("zipf", 0.99);
+  P.PutPct = static_cast<unsigned>(Env.Args.getInt("put", 3));
+  P.DelPct = static_cast<unsigned>(Env.Args.getInt("del", 1));
+  P.ScanPct = static_cast<unsigned>(Env.Args.getInt("scan", 1));
+  P.Threads = static_cast<int>(Env.Args.getInt("threads", Env.Quick ? 2 : 4));
+  P.DurationNs = static_cast<uint64_t>(Env.Args.getInt(
+                     "duration-ms", Env.Quick ? 60 : 400)) *
+                 1000000ull;
+  P.Pin = Env.Args.getBool("pin", true);
+  P.Seed = Env.Seed;
+  P.BurstFactor = Env.Args.getDouble("burst-factor", 1.0);
+  P.BurstPeriodNs = static_cast<uint64_t>(
+                        Env.Args.getInt("burst-period-ms", 200)) *
+                    1000000ull;
+  P.BurstLenNs =
+      static_cast<uint64_t>(Env.Args.getInt("burst-len-ms", 50)) * 1000000ull;
+  SOLERO_CHECK(P.PutPct + P.DelPct + P.ScanPct <= 100,
+               "op mix exceeds 100 percent");
+
+  SweepParams Sweep;
+  Sweep.BaseRate = Env.Args.getDouble("rate", Env.Quick ? 4000 : 30000);
+  Sweep.Factor = Env.Args.getDouble("sweep-factor", 1.6);
+  Sweep.Steps = static_cast<int>(
+      Env.Args.getInt("sweep-steps", Env.Quick ? 2 : 7));
+  Sweep.SloNs = static_cast<uint64_t>(Env.Args.getInt(
+                    "slo-us", Env.Quick ? 50000 : 2000)) *
+                1000ull;
+
+  std::printf("shards=%u keys=%llu zipf=%.2f mix=GET %u%% / PUT %u%% / "
+              "DEL %u%% / SCAN %u%% threads=%d\nwindow=%llums "
+              "burst-factor=%.1f pin=%d sweep: %g ops/s x%.2f, %d steps, "
+              "p99 SLO %llu us\n",
+              P.Shards, static_cast<unsigned long long>(P.Keys), P.Zipf,
+              100 - P.PutPct - P.DelPct - P.ScanPct, P.PutPct, P.DelPct,
+              P.ScanPct, P.Threads,
+              static_cast<unsigned long long>(P.DurationNs / 1000000),
+              P.BurstFactor, P.Pin ? 1 : 0, Sweep.BaseRate, Sweep.Factor,
+              Sweep.Steps,
+              static_cast<unsigned long long>(Sweep.SloNs / 1000));
+
+  const ZipfianSampler Zipf(P.Keys, P.Zipf);
+  std::string Policies =
+      Env.Args.getString("policies", "Lock,RWLock,BravoRW,SOLERO,SeqLock");
+  JsonReport Json("kv_service");
+  // Exact comma-token match ("Lock" must not select RWLock or SeqLock).
+  auto Wants = [&](const char *Name) {
+    std::size_t Pos = 0;
+    while (Pos <= Policies.size()) {
+      std::size_t Comma = Policies.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Policies.size();
+      if (Policies.compare(Pos, Comma - Pos, Name) == 0 ||
+          Policies.compare(Pos, Comma - Pos, "all") == 0)
+        return true;
+      Pos = Comma + 1;
+    }
+    return false;
+  };
+  if (Wants("Lock"))
+    runPolicy<TasukiPolicy>(Env, Json, P, Sweep, Zipf);
+  if (Wants("RWLock"))
+    runPolicy<RwPolicy>(Env, Json, P, Sweep, Zipf);
+  if (Wants("BravoRW"))
+    runPolicy<BravoRwPolicy>(Env, Json, P, Sweep, Zipf);
+  if (Wants("SOLERO"))
+    runPolicy<SoleroPolicy>(Env, Json, P, Sweep, Zipf);
+  if (Wants("SeqLock"))
+    runPolicy<SeqLockPolicy>(Env, Json, P, Sweep, Zipf);
+
+  return Json.write(Env.JsonPath) ? 0 : 1;
+}

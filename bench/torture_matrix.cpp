@@ -50,9 +50,9 @@ int main(int Argc, char **Argv) {
       "seeds", Smoke || Quick ? std::vector<int>{1} : std::vector<int>{1, 2});
 
   const TortureProtocol Protocols[] = {
-      TortureProtocol::Solero, TortureProtocol::Tasuki,
+      TortureProtocol::Solero,  TortureProtocol::Tasuki,
       TortureProtocol::SeqLock, TortureProtocol::RWLock,
-      TortureProtocol::BravoRW};
+      TortureProtocol::BravoRW, TortureProtocol::ShardedKv};
 
   TablePrinter T({"protocol", "thr", "wr%", "storm-us", "seed", "reads",
                   "writes", "throws", "trips", "maxop-us", "firings",
@@ -68,11 +68,13 @@ int main(int Argc, char **Argv) {
             C.Threads = Thr;
             C.WritePercent = Wr;
             // Guest throws only where the protocol validates them
-            // (elided/optimistic readers).
-            C.GuestThrowPercent =
-                (P == TortureProtocol::Solero || P == TortureProtocol::SeqLock)
-                    ? 5
-                    : 0;
+            // (elided/optimistic readers; ShardedKv pair-reads run under
+            // SOLERO shard locks).
+            C.GuestThrowPercent = (P == TortureProtocol::Solero ||
+                                   P == TortureProtocol::SeqLock ||
+                                   P == TortureProtocol::ShardedKv)
+                                      ? 5
+                                      : 0;
             C.Seed = static_cast<uint64_t>(Seed);
             C.IterationsPerThread = Iters;
             C.AsyncStormPeriod = std::chrono::microseconds(Storm);

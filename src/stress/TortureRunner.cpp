@@ -7,11 +7,13 @@
 #include "stress/TortureRunner.h"
 
 #include <atomic>
+#include <bit>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/SoleroLock.h"
+#include "kv/ShardedKvStore.h"
 #include "locks/BravoRwLock.h"
 #include "locks/ReadWriteLock.h"
 #include "locks/SeqLock.h"
@@ -51,6 +53,9 @@ struct WorkerTally {
   uint64_t MaxOpMicros = 0;
   uint64_t Entries = 0;
   uint64_t Exits = 0;
+  /// ShardedKv only: a churn put/remove/get on a key owned exclusively by
+  /// this thread disagreed with the thread's own presence bitmap.
+  uint64_t ChurnMismatches = 0;
 };
 
 /// The write-section body shared by every protocol adapter: claim the
@@ -337,6 +342,285 @@ TortureReport runWithAdapter(const TortureConfig &C) {
   return R;
 }
 
+// --- ShardedKv torture ---------------------------------------------------
+// Drives kv/ShardedKvStore.h instead of a bare lock: four shards at the
+// minimum table capacity so churn forces resizes while readers probe, with
+// the SOLERO protocol adapted locally (same layering rule as the adapters
+// above: the harness builds its own policy rather than importing the
+// workload layer's).
+
+/// SOLERO as a shard policy, local to the torture harness.
+class KvSoleroShardPolicy {
+public:
+  explicit KvSoleroShardPolicy(RuntimeContext &Ctx) : L(Ctx) {}
+
+  template <typename Fn> decltype(auto) read(Fn &&F) {
+    return L.synchronizedReadOnly(H, std::forward<Fn>(F));
+  }
+  template <typename Fn> decltype(auto) write(Fn &&F) {
+    return L.synchronizedWrite(H, std::forward<Fn>(F));
+  }
+  static const char *name() { return "SOLERO"; }
+
+  bool free() { return lockword::soleroIsFree(H.word().load()); }
+
+private:
+  SoleroLock L;
+  ObjectHeader H;
+};
+
+/// Per-shard invariant state: the exclusion token for the pair-bump write
+/// section and the authoritative bump count (incremented while the token
+/// is held, so it is serialized with the pair itself).
+struct KvShardOracle {
+  std::atomic<uint64_t> Token{0};
+  std::atomic<uint64_t> Bumps{0};
+};
+
+/// One validated read of a shard's (A, B) invariant pair.
+struct KvPairSnapshot {
+  uint64_t A = 0;
+  uint64_t B = 0;
+  bool BothFound = false;
+};
+
+/// Reserved pair keys live far above the churn-key space (Tag << 32 | Idx
+/// with small tags) and are always accessed through readShard/writeShard
+/// on their home shard, never hash-routed.
+constexpr uint64_t KvPairKeyBase = 1ull << 48;
+inline uint64_t kvPairKeyA(unsigned Shard) {
+  return KvPairKeyBase + 2ull * Shard;
+}
+inline uint64_t kvPairKeyB(unsigned Shard) {
+  return KvPairKeyBase + 2ull * Shard + 1;
+}
+
+TortureReport runShardedKvTorture(const TortureConfig &C) {
+  // Small shard count and the minimum table capacity: the default churn
+  // universe (48 keys/thread) overflows 16 slots many times over, so
+  // resizes and tombstone purges happen continuously under the readers.
+  constexpr unsigned NumShards = 4;
+  constexpr unsigned ChurnKeysPerThread = 48;
+
+  TortureReport R;
+  RuntimeContext Ctx(C.Runtime);
+  kv::ShardedKvStore<KvSoleroShardPolicy> Store(
+      Ctx, kv::KvStoreConfig{NumShards, /*InitialShardCapacity=*/16});
+  std::vector<KvShardOracle> Oracles(NumShards);
+
+  // Prefill each shard's invariant pair at zero (one write section per
+  // shard, issued before the counter snapshot below).
+  for (unsigned S = 0; S < NumShards; ++S)
+    Store.writeShard(S, [&](kv::ShardTable &T) {
+      T.put(kvPairKeyA(S), 0);
+      T.put(kvPairKeyB(S), 0);
+    });
+
+  const std::chrono::microseconds Budget =
+      C.ParkLatencyBudget.count() > 0 ? C.ParkLatencyBudget
+                                      : C.Runtime.ParkMicros;
+  const uint64_t BudgetNs = static_cast<uint64_t>(Budget.count()) * 1000u;
+
+  SchedulePerturber::Options PO = C.Perturbation;
+  PO.Seed = C.Seed;
+  SchedulePerturber Perturber(PO);
+  if (C.Perturb)
+    Perturber.arm();
+
+  ProtocolCounters Before = ThreadRegistry::instance().totalCounters();
+
+  std::vector<WorkerTally> Tallies(static_cast<std::size_t>(C.Threads));
+  std::vector<uint64_t> Bitmaps(static_cast<std::size_t>(C.Threads), 0);
+  SpinBarrier Start(static_cast<uint32_t>(C.Threads) + 1);
+  std::vector<std::thread> Workers;
+  Workers.reserve(static_cast<std::size_t>(C.Threads));
+  {
+    AsyncStorm Storm(C.AsyncStormPeriod);
+    for (int T = 0; T < C.Threads; ++T)
+      Workers.emplace_back([&, T] {
+        WorkerTally &Tally = Tallies[static_cast<std::size_t>(T)];
+        uint64_t &Bitmap = Bitmaps[static_cast<std::size_t>(T)];
+        Xoshiro256StarStar Rng(C.Seed * 0x9e3779b97f4a7c15ULL +
+                               static_cast<uint64_t>(T) + 1);
+        const uint64_t Tag = static_cast<uint64_t>(T) + 1;
+        Start.arriveAndWait();
+        for (uint64_t I = 0; I < C.IterationsPerThread; ++I) {
+          Stopwatch Op;
+          unsigned S = static_cast<unsigned>(Rng.nextBounded(NumShards));
+          if (Rng.nextPercent(static_cast<unsigned>(C.WritePercent))) {
+            ++Tally.Entries;
+            if (Rng.nextPercent(50)) {
+              // Pair bump: one write section keeps B == -A (mod 2^64).
+              KvShardOracle &O = Oracles[S];
+              Store.writeShard(S, [&](kv::ShardTable &Table) {
+                if (O.Token.exchange(Tag, std::memory_order_acq_rel) != 0)
+                  ++Tally.ExclusionViolations;
+                uint64_t V =
+                    O.Bumps.fetch_add(1, std::memory_order_relaxed) + 1;
+                Table.put(kvPairKeyA(S), V);
+                Table.put(kvPairKeyB(S), 0 - V);
+                if (O.Token.exchange(0, std::memory_order_acq_rel) != Tag)
+                  ++Tally.ExclusionViolations;
+              });
+            } else {
+              // Churn flip on a key only this thread mutates: the return
+              // value must agree with the thread's own bitmap.
+              unsigned Idx =
+                  static_cast<unsigned>(Rng.nextBounded(ChurnKeysPerThread));
+              uint64_t Key = (Tag << 32) | Idx;
+              bool Present = (Bitmap >> Idx) & 1;
+              bool Changed = Present ? Store.remove(Key)
+                                     : Store.put(Key, Key);
+              if (!Changed)
+                ++Tally.ChurnMismatches;
+              Bitmap ^= 1ull << Idx;
+            }
+            ++Tally.Exits;
+            ++Tally.Writes;
+          } else {
+            uint64_t Kind = Rng.nextBounded(3);
+            bool Throw =
+                Kind == 0 &&
+                Rng.nextPercent(static_cast<unsigned>(C.GuestThrowPercent));
+            ++Tally.Entries;
+            try {
+              if (Kind == 0) {
+                // Invariant-pair read: one validated section must never
+                // see A + B != 0.
+                KvPairSnapshot P = Store.readShard(
+                    S, [&](const kv::ShardTable &Table, ReadGuard &) {
+                      KvPairSnapshot Snap;
+                      kv::ShardTable::Lookup A = Table.get(kvPairKeyA(S));
+                      kv::ShardTable::Lookup B = Table.get(kvPairKeyB(S));
+                      Snap.A = A.Value;
+                      Snap.B = B.Value;
+                      Snap.BothFound = A.Found && B.Found;
+                      if (Throw)
+                        throw GuestBoom{};
+                      return Snap;
+                    });
+                if (!P.BothFound || P.A + P.B != 0)
+                  ++Tally.TornSnapshots;
+              } else if (Kind == 1) {
+                // Scan consistency: a full pass inside one validated
+                // section must count exactly liveCount() entries.
+                auto P = Store.readShard(
+                    S, [](const kv::ShardTable &Table, ReadGuard &) {
+                      kv::ShardTable::ScanStats St = Table.scan();
+                      return std::pair<uint64_t, uint64_t>(St.LiveEntries,
+                                                           Table.liveCount());
+                    });
+                if (P.first != P.second)
+                  ++Tally.TornSnapshots;
+              } else {
+                // Own-key GET: presence and payload must match the
+                // bitmap (no other thread touches this key).
+                unsigned Idx = static_cast<unsigned>(
+                    Rng.nextBounded(ChurnKeysPerThread));
+                uint64_t Key = (Tag << 32) | Idx;
+                bool Present = (Bitmap >> Idx) & 1;
+                auto V = Store.get(Key);
+                if (V.has_value() != Present || (Present && *V != Key))
+                  ++Tally.ChurnMismatches;
+              }
+            } catch (GuestBoom &) {
+              ++Tally.GuestThrows;
+            }
+            ++Tally.Exits;
+            ++Tally.Reads;
+          }
+          uint64_t Ns = Op.elapsedNs();
+          if (Ns / 1000u > Tally.MaxOpMicros)
+            Tally.MaxOpMicros = Ns / 1000u;
+          if (Ns >= BudgetNs)
+            ++Tally.WatchdogTrips;
+        }
+      });
+    Start.arriveAndWait();
+    for (auto &W : Workers)
+      W.join();
+  }
+  Perturber.disarm();
+  R.InjectionFirings = Perturber.firings();
+  R.WatchdogEnforced = C.EnforceWatchdog;
+
+  uint64_t ExpectedLive = 2 * NumShards;
+  for (std::size_t T = 0; T < Tallies.size(); ++T) {
+    const WorkerTally &Tally = Tallies[T];
+    R.Reads += Tally.Reads;
+    R.Writes += Tally.Writes;
+    R.GuestThrows += Tally.GuestThrows;
+    R.ExclusionViolations += Tally.ExclusionViolations;
+    R.TornSnapshots += Tally.TornSnapshots;
+    R.WatchdogTrips += Tally.WatchdogTrips;
+    if (Tally.MaxOpMicros > R.MaxOpMicros)
+      R.MaxOpMicros = Tally.MaxOpMicros;
+    if (Tally.Entries != Tally.Exits) {
+      R.CountersConserved = false;
+      R.Failure = "section entries != exits";
+    }
+    if (Tally.ChurnMismatches != 0) {
+      R.CountersConserved = false;
+      R.Failure = "churn op disagreed with its owner's bitmap";
+    }
+    ExpectedLive += static_cast<uint64_t>(std::popcount(Bitmaps[T]));
+  }
+
+  // Cross-shard conservation: every pair bump landed exactly once, B
+  // mirrors A, and nobody left an exclusion token behind.
+  for (unsigned S = 0; S < NumShards; ++S) {
+    const kv::ShardTable &Table = Store.shardTable(S);
+    kv::ShardTable::Lookup A = Table.get(kvPairKeyA(S));
+    kv::ShardTable::Lookup B = Table.get(kvPairKeyB(S));
+    uint64_t Bumps = Oracles[S].Bumps.load(std::memory_order_relaxed);
+    if (!A.Found || !B.Found || A.Value != Bumps || B.Value != 0 - Bumps) {
+      R.CountersConserved = false;
+      R.Failure = "lost or duplicated pair bump (A != shard bumps)";
+    }
+    if (Oracles[S].Token.load(std::memory_order_relaxed) != 0) {
+      R.CountersConserved = false;
+      R.Failure = "exclusion token left claimed";
+    }
+  }
+
+  // Whole-store conservation: live entries must equal the pairs plus the
+  // churn keys each owner believes are present.
+  if (Store.size() != ExpectedLive) {
+    R.CountersConserved = false;
+    R.Failure = "store live count != pairs + owned churn keys";
+  }
+
+  // Protocol counters: every issued op entered exactly one section, and
+  // the elision ledger balances.
+  ProtocolCounters After = ThreadRegistry::instance().totalCounters();
+  if (After.WriteEntries - Before.WriteEntries != R.Writes ||
+      After.ReadOnlyEntries - Before.ReadOnlyEntries != R.Reads) {
+    R.CountersConserved = false;
+    R.Failure = "entry counters != issued operations";
+  }
+  if (After.ElisionAttempts - Before.ElisionAttempts !=
+      (After.ElisionSuccesses - Before.ElisionSuccesses) +
+          (After.ElisionFailures - Before.ElisionFailures)) {
+    R.CountersConserved = false;
+    R.Failure = "attempts != successes + failures";
+  }
+
+  // Final state: epoch drained, every pool cell accounted for (the
+  // tombstone-reuse leak oracle), every shard lock free.
+  if (!Store.quiesce()) {
+    R.FinalStateClean = false;
+    if (R.Failure.empty())
+      R.Failure = "pool cells != live entries after drain";
+  }
+  for (unsigned S = 0; S < NumShards; ++S)
+    if (!Store.shardPolicy(S).free()) {
+      R.FinalStateClean = false;
+      if (R.Failure.empty())
+        R.Failure = "shard lock not released/deflated after the run";
+    }
+  return R;
+}
+
 } // namespace
 
 const char *solero::stress::tortureProtocolName(TortureProtocol P) {
@@ -351,6 +635,8 @@ const char *solero::stress::tortureProtocolName(TortureProtocol P) {
     return "RWLock";
   case TortureProtocol::BravoRW:
     return "BravoRW";
+  case TortureProtocol::ShardedKv:
+    return "ShardedKv";
   }
   return "<unknown>";
 }
@@ -390,6 +676,8 @@ TortureReport solero::stress::runTorture(const TortureConfig &Config) {
     return runWithAdapter<RwAdapter>(Config);
   case TortureProtocol::BravoRW:
     return runWithAdapter<BravoAdapter>(Config);
+  case TortureProtocol::ShardedKv:
+    return runShardedKvTorture(Config);
   }
   return TortureReport{};
 }

@@ -41,8 +41,19 @@
 namespace solero {
 namespace stress {
 
-/// Which lock protocol the torture run drives.
-enum class TortureProtocol { Solero, Tasuki, SeqLock, RWLock, BravoRW };
+/// Which lock protocol the torture run drives. ShardedKv is not a bare
+/// protocol but the kv/ShardedKvStore.h subsystem under its SOLERO shard
+/// policy: the same oracles (exclusion token, torn pair, conservation)
+/// plus cross-shard counter conservation, scan consistency, and the
+/// epoch/pool leak check.
+enum class TortureProtocol {
+  Solero,
+  Tasuki,
+  SeqLock,
+  RWLock,
+  BravoRW,
+  ShardedKv
+};
 
 const char *tortureProtocolName(TortureProtocol P);
 

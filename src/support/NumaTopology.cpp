@@ -76,6 +76,33 @@ unsigned NumaTopology::currentCpu() {
 #endif
 }
 
+unsigned NumaTopology::cpuCount() {
+#if defined(__linux__)
+  cpu_set_t Mask;
+  CPU_ZERO(&Mask);
+  if (sched_getaffinity(0, sizeof(Mask), &Mask) == 0) {
+    int N = CPU_COUNT(&Mask);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+#endif
+  return 1u;
+}
+
+bool NumaTopology::pinCurrentThreadToCpu(unsigned Cpu) {
+#if defined(__linux__)
+  if (Cpu >= CPU_SETSIZE)
+    return false;
+  cpu_set_t Mask;
+  CPU_ZERO(&Mask);
+  CPU_SET(static_cast<int>(Cpu), &Mask);
+  return sched_setaffinity(0, sizeof(Mask), &Mask) == 0;
+#else
+  (void)Cpu;
+  return false;
+#endif
+}
+
 NumaTopology NumaTopology::detect() {
   NumaTopology T;
 #if defined(__linux__)

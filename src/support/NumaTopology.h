@@ -46,6 +46,18 @@ public:
   /// the next instant, so callers must treat it as a placement hint only.
   static unsigned currentCpu();
 
+  /// Number of CPUs the calling thread may run on (its affinity mask), at
+  /// least 1. The pinning denominator: worker T pins to CPU T % cpuCount().
+  static unsigned cpuCount();
+
+  /// Pins the calling thread to \p Cpu. Returns false (leaving affinity
+  /// unchanged) where the syscall is unavailable, the CPU does not exist,
+  /// or a restricted container rejects the mask — callers fall back to
+  /// floating threads. The KV service bench pins its load generators so
+  /// tail-latency percentiles measure the lock protocol, not scheduler
+  /// migration noise.
+  static bool pinCurrentThreadToCpu(unsigned Cpu);
+
   /// Node of the calling thread's current CPU (placement hint; see
   /// currentCpu()).
   unsigned currentNode() const { return nodeOf(currentCpu()); }

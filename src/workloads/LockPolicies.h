@@ -23,12 +23,16 @@
 #define SOLERO_WORKLOADS_LOCKPOLICIES_H
 
 #include <memory>
+#include <utility>
 
 #include "core/SoleroLock.h"
 #include "locks/BravoRwLock.h"
 #include "locks/ReadWriteLock.h"
+#include "locks/SeqLock.h"
 #include "locks/TasukiLock.h"
+#include "runtime/ReadGuard.h"
 #include "runtime/RuntimeContext.h"
+#include "support/ScopeExit.h"
 
 namespace solero {
 
@@ -120,6 +124,40 @@ public:
 private:
   SoleroLock Protocol;
   ObjectHeader Header;
+};
+
+/// Bare-seqlock policy (locks/SeqLock.h): readers run optimistically and
+/// retry on interference, writers serialize on the sequence word itself.
+/// This is the hand-tuned upper bound for read-mostly workloads — no
+/// reader-side RMW, no lock-word store, no elision bookkeeping — at the
+/// cost of the seqlock restrictions SOLERO exists to lift: the read
+/// section must be side-effect-free and safe to re-execute, and writers
+/// get a plain spinlock with no contention management. The KV service
+/// bench runs it as the per-shard read-path ceiling; it takes (and
+/// ignores) a RuntimeContext so it constructs like the other policies.
+class SeqLockPolicy {
+public:
+  explicit SeqLockPolicy(RuntimeContext &) {}
+
+  template <typename Fn> decltype(auto) read(Fn &&F) {
+    return Lock.readProtected([&] {
+      ReadGuard G(/*Speculative=*/true);
+      return F(G);
+    });
+  }
+
+  template <typename Fn> decltype(auto) write(Fn &&F) {
+    Lock.writeLock();
+    ScopeExit Release([this] { Lock.writeUnlock(); });
+    return F();
+  }
+
+  static const char *name() { return "SeqLock"; }
+
+  SeqLock &protocol() { return Lock; }
+
+private:
+  SeqLock Lock;
 };
 
 /// Figure 10 ablation configs.

@@ -83,6 +83,16 @@ TEST(Torture, BravoRWOraclesHoldUnderPerturbation) {
   EXPECT_GT(R.Writes, 0u);
 }
 
+TEST(Torture, ShardedKvOraclesHoldUnderPerturbation) {
+  TortureReport R = runTorture(smokeConfig(TortureProtocol::ShardedKv, 23));
+  EXPECT_TRUE(R.passed()) << R.summary();
+  EXPECT_GT(R.Reads, 0u);
+  EXPECT_GT(R.Writes, 0u);
+  // Pair reads under SOLERO shards validate guest throws like the bare
+  // protocol does.
+  EXPECT_GT(R.GuestThrows, 0u);
+}
+
 // Counter aggregation must be data-race-free: worker threads increment
 // their RelaxedCounter cells while another thread aggregates. Before the
 // counters became relaxed atomics this was a plain-uint64_t read/write
