@@ -20,6 +20,7 @@
 #ifndef SOLERO_BENCH_BENCHCOMMON_H
 #define SOLERO_BENCH_BENCHCOMMON_H
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -88,10 +89,13 @@ public:
                    "\"rmw_per_op\": %.6g, \"stores_per_op\": %.6g, "
                    "\"failure_ratio\": %.6g",
                    I ? "," : "", escaped(R.Variant).c_str(),
-                   escaped(R.Protocol).c_str(), R.Threads, R.OpsPerSec,
-                   R.RmwPerOp, R.StoresPerOp, R.FailureRatio);
+                   escaped(R.Protocol).c_str(), R.Threads,
+                   finiteOrZero(R.OpsPerSec), finiteOrZero(R.RmwPerOp),
+                   finiteOrZero(R.StoresPerOp),
+                   finiteOrZero(R.FailureRatio));
       for (const Extra &E : R.Extras)
-        std::fprintf(F, ", \"%s\": %.6g", escaped(E.first).c_str(), E.second);
+        std::fprintf(F, ", \"%s\": %.6g", escaped(E.first).c_str(),
+                     finiteOrZero(E.second));
       std::fprintf(F, "}");
     }
     std::fprintf(F, "\n  ]\n}\n");
@@ -111,15 +115,29 @@ private:
     std::vector<Extra> Extras;
   };
 
+  /// JSON has no representation for NaN/Infinity and %.6g would print
+  /// "nan"/"inf", corrupting the document (a zero-attempt variant or
+  /// zero-elapsed window produces exactly those). Zero is the schema's
+  /// "no signal" value.
+  static double finiteOrZero(double V) { return std::isfinite(V) ? V : 0.0; }
+
   static std::string escaped(const std::string &S) {
     std::string Out;
     Out.reserve(S.size());
     for (char C : S) {
-      if (C == '"' || C == '\\')
+      unsigned char U = static_cast<unsigned char>(C);
+      if (C == '"' || C == '\\') {
         Out.push_back('\\');
-      if (static_cast<unsigned char>(C) < 0x20)
-        continue; // table labels never need control characters
-      Out.push_back(C);
+        Out.push_back(C);
+      } else if (U < 0x20) {
+        // Control characters are invalid raw inside a JSON string; a
+        // CLI-supplied label must round-trip, not silently shrink.
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04X", U);
+        Out += Buf;
+      } else {
+        Out.push_back(C);
+      }
     }
     return Out;
   }

@@ -23,11 +23,17 @@
 ///   kv_service --policies=Lock,SOLERO  # subset
 ///   kv_service --rate=30000 --slo-us=2000 --burst-factor=4
 ///   kv_service --json=BENCH_kv.json    # machine-readable rows
+///   kv_service --checkpoint=kv.img     # write adaptive lock state after
+///                                      # the sweeps (warm image, §16)
+///   kv_service --restore=kv.img        # rehydrate each policy's per-shard
+///                                      # lock state before its sweep
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
 
+#include "image/Image.h"
+#include "image/Resources.h"
 #include "kv/ShardedKvStore.h"
 #include "support/Backoff.h"
 #include "support/Distributions.h"
@@ -178,7 +184,9 @@ LoadResult runOpenLoop(Store &Store_, const KvBenchParams &P,
     TotalGets += Gets[static_cast<std::size_t>(T)];
   }
   R.Bench.Seconds = static_cast<double>(P.DurationNs) * 1e-9;
-  R.Bench.OpsPerSec = static_cast<double>(R.Bench.Ops) / R.Bench.Seconds;
+  R.Bench.OpsPerSec = R.Bench.Seconds > 0
+                          ? static_cast<double>(R.Bench.Ops) / R.Bench.Seconds
+                          : 0.0; // --duration-ms=0 must not emit inf/nan
   R.Bench.Delta = countersDelta(Before, After);
   R.P50Ns = Merged.quantile(0.50);
   R.P99Ns = Merged.quantile(0.99);
@@ -201,7 +209,8 @@ double usOf(uint64_t Ns) { return static_cast<double>(Ns) * 1e-3; }
 /// SLO breaks. Emits one JSON row per step plus a saturation summary row.
 template <typename Policy>
 void runPolicy(BenchEnv &Env, JsonReport &Json, const KvBenchParams &P,
-               const SweepParams &Sweep, const ZipfianSampler &Zipf) {
+               const SweepParams &Sweep, const ZipfianSampler &Zipf,
+               image::ImageBuilder *Ckpt, const image::LoadedImage *Warm) {
   kv::KvStoreConfig C;
   C.Shards = P.Shards;
   C.InitialShardCapacity = 64;
@@ -211,6 +220,22 @@ void runPolicy(BenchEnv &Env, JsonReport &Json, const KvBenchParams &P,
     Store.put(K, Fill.next() >> 1);
 
   std::printf("\n--- %s ---\n", Policy::name());
+  // Rehydrate the per-shard adaptive lock state (SOLERO controllers,
+  // BRAVO bias) from the warm image before the sweep; a missing or
+  // mismatched blob just means this policy sweeps cold.
+  const std::string BlobName = std::string("kv.") + Policy::name();
+  if (Warm && Warm->loaded()) {
+    const std::vector<uint8_t> *Blob = Warm->blob(BlobName);
+    bool Restored = false;
+    if (Blob) {
+      image::ImageReader R(*Blob);
+      Restored = image::restoreKvLockState(R, Store);
+    }
+    std::printf("warm image: %s %s\n", BlobName.c_str(),
+                Restored ? "restored (per-shard lock state rehydrated)"
+                         : (Blob ? "rejected; sweeping cold"
+                                 : "not present; sweeping cold"));
+  }
   TablePrinter T({"offered/s", "achieved/s", "p50 us", "p99 us", "p999 us",
                   "max us", "rmw/op", "hit%", "verdict"});
   double Rate = Sweep.BaseRate;
@@ -256,6 +281,10 @@ void runPolicy(BenchEnv &Env, JsonReport &Json, const KvBenchParams &P,
            {{"sat_ops_per_sec", SatRate},
             {"slo_us", usOf(Sweep.SloNs)},
             {"p99_us", usOf(Sat.P99Ns)}});
+  // All workers are joined (quiescent), so the controllers can be
+  // snapshotted into the warm image for the next run.
+  if (Ckpt)
+    Ckpt->addBlob(BlobName, image::snapshotKvLockState(Store));
 }
 
 } // namespace
@@ -330,16 +359,41 @@ int main(int Argc, char **Argv) {
     }
     return false;
   };
+  const std::string CkptPath = Env.Args.getString("checkpoint", "");
+  const std::string RestPath = Env.Args.getString("restore", "");
+  image::ImageBuilder Builder;
+  image::ImageBuilder *Ckpt = CkptPath.empty() ? nullptr : &Builder;
+  image::LoadedImage Warm;
+  image::Diagnostic LoadDiag;
+  if (!RestPath.empty()) {
+    Warm = image::LoadedImage::fromFile(RestPath, LoadDiag);
+    if (!LoadDiag.ok()) // degrade to a cold run, never crash
+      std::printf("warm image: %s\n", LoadDiag.render().c_str());
+  }
+  const image::LoadedImage *WarmP = Warm.loaded() ? &Warm : nullptr;
+
   if (Wants("Lock"))
-    runPolicy<TasukiPolicy>(Env, Json, P, Sweep, Zipf);
+    runPolicy<TasukiPolicy>(Env, Json, P, Sweep, Zipf, Ckpt, WarmP);
   if (Wants("RWLock"))
-    runPolicy<RwPolicy>(Env, Json, P, Sweep, Zipf);
+    runPolicy<RwPolicy>(Env, Json, P, Sweep, Zipf, Ckpt, WarmP);
   if (Wants("BravoRW"))
-    runPolicy<BravoRwPolicy>(Env, Json, P, Sweep, Zipf);
+    runPolicy<BravoRwPolicy>(Env, Json, P, Sweep, Zipf, Ckpt, WarmP);
   if (Wants("SOLERO"))
-    runPolicy<SoleroPolicy>(Env, Json, P, Sweep, Zipf);
+    runPolicy<SoleroPolicy>(Env, Json, P, Sweep, Zipf, Ckpt, WarmP);
+  if (Wants("Adaptive-SOLERO")) // off the default list; carries the
+    runPolicy<AdaptiveSoleroPolicy>(Env, Json, P, Sweep, Zipf, Ckpt,
+                                    WarmP); // richest controller state
   if (Wants("SeqLock"))
-    runPolicy<SeqLockPolicy>(Env, Json, P, Sweep, Zipf);
+    runPolicy<SeqLockPolicy>(Env, Json, P, Sweep, Zipf, Ckpt, WarmP);
+
+  if (Ckpt) {
+    image::Diagnostic D;
+    if (Builder.writeFile(CkptPath, D))
+      std::printf("\ncheckpoint: wrote warm image (%zu policy blobs) to %s\n",
+                  Builder.blobCount(), CkptPath.c_str());
+    else
+      std::fprintf(stderr, "checkpoint: %s\n", D.render().c_str());
+  }
 
   return Json.write(Env.JsonPath) ? 0 : 1;
 }

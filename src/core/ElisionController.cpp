@@ -22,6 +22,56 @@ const char *solero::elisionStateName(ElisionState S) {
   return "?";
 }
 
+ElisionSnapshot ElisionController::snapshot() const {
+  ElisionSnapshot S;
+  S.State = Stats.State.load(std::memory_order_relaxed);
+  S.Attempts = Stats.Attempts.load(std::memory_order_relaxed);
+  S.Failures = Stats.Failures.load(std::memory_order_relaxed);
+  S.Skip = Stats.Skip.load(std::memory_order_relaxed);
+  S.ReprobeLeft = Stats.ReprobeLeft.load(std::memory_order_relaxed);
+  S.SkipWindow = Stats.SkipWindow.load(std::memory_order_relaxed);
+  return S;
+}
+
+bool ElisionController::restore(const ElisionSnapshot &S) {
+  if (S.State > static_cast<uint32_t>(ElisionState::Reprobe))
+    return false; // unknown state: unusable image, stay cold
+  // Failures > Attempts cannot arise from any transition sequence; treat
+  // it as corruption rather than guessing which counter to trust.
+  if (S.Failures > S.Attempts)
+    return false;
+  uint32_t Window = S.SkipWindow;
+  if (Window < Cfg.DisabledSkipMin)
+    Window = Cfg.DisabledSkipMin; // covers 0 from pre-seeding-fix images
+  if (Window > Cfg.DisabledSkipMax)
+    Window = Cfg.DisabledSkipMax;
+  int32_t Skip = S.Skip;
+  int32_t ReprobeLeft = S.ReprobeLeft;
+  auto St = static_cast<ElisionState>(S.State);
+  if (St == ElisionState::Disabled && Skip < 1)
+    // A budget captured mid-exhaustion (or negative from the chunked
+    // draw-down) would flip to Reprobe on the first section with an empty
+    // sample window; give the restored lock one full chunk instead.
+    Skip = static_cast<int32_t>(SkipChunk);
+  if (St == ElisionState::Reprobe) {
+    if (ReprobeLeft < 1)
+      ReprobeLeft = 1;
+    if (ReprobeLeft > static_cast<int32_t>(Cfg.ReprobeWindow))
+      ReprobeLeft = static_cast<int32_t>(Cfg.ReprobeWindow);
+  }
+  Stats.Attempts.store(S.Attempts, std::memory_order_relaxed);
+  Stats.Failures.store(S.Failures, std::memory_order_relaxed);
+  Stats.Skip.store(Skip, std::memory_order_relaxed);
+  Stats.ReprobeLeft.store(ReprobeLeft, std::memory_order_relaxed);
+  Stats.SkipWindow.store(Window, std::memory_order_relaxed);
+  // State last: a concurrent beginRead (which the quiesce protocol
+  // forbids, but code should still fail soft) keys every slow-path
+  // decision off State and would otherwise see the new state over stale
+  // budgets.
+  Stats.State.store(S.State, std::memory_order_relaxed);
+  return true;
+}
+
 ElisionController::Decision
 ElisionController::beginReadSlow(ThreadState &TS, ElisionState St) {
   if (St == ElisionState::Throttled)

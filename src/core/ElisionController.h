@@ -103,6 +103,18 @@ struct AdaptiveElisionConfig {
   int BackoffSpinsMax = 512;
 };
 
+/// A quiesced copy of one controller's stats cell, for warm-image
+/// checkpoint/restore (src/image/). Field layout is part of the image
+/// format: extend only by appending (and bump image::ImageVersion).
+struct ElisionSnapshot {
+  uint32_t State = 0;    ///< ElisionState, as its numeric value
+  uint32_t Attempts = 0; ///< decayed-window attempt count
+  uint32_t Failures = 0; ///< decayed-window failure count
+  int32_t Skip = 0;      ///< remaining Disabled skip budget
+  int32_t ReprobeLeft = 0;
+  uint32_t SkipWindow = 0; ///< next disable's skip budget
+};
+
 /// Per-lock adaptive policy. Embedded in each SoleroLock; thread-safe,
 /// wait-free, and inert (never touched) unless the config enables it.
 class ElisionController {
@@ -110,6 +122,11 @@ public:
   explicit ElisionController(const AdaptiveElisionConfig &Cfg)
       : Cfg(Cfg),
         SkipChunk(Cfg.DisabledSkipMin / 8 ? Cfg.DisabledSkipMin / 8 : 1) {
+    // SkipWindow is seeded here AND re-seeded by restore(): historically it
+    // was constructor-only, which left a restored Disabled/Reprobe lock
+    // with whatever the image held — including 0 from a zero-initialized
+    // cell — and forced the cold-start path to repair it. disable() keeps
+    // a 0 -> DisabledSkipMin guard as defense in depth.
     Stats.SkipWindow.store(Cfg.DisabledSkipMin, std::memory_order_relaxed);
   }
 
@@ -180,6 +197,31 @@ public:
   int32_t skipBudget() const {
     return Stats.Skip.load(std::memory_order_relaxed);
   }
+
+  /// The skip budget the *next* disable will charge (tests/restore).
+  uint32_t skipWindow() const {
+    return Stats.SkipWindow.load(std::memory_order_relaxed);
+  }
+
+  /// Captures the shared stats cell for a warm image. All fields are
+  /// relaxed atomics, so concurrent readers are safe; for a *consistent*
+  /// capture the caller must quiesce the lock (no read section between
+  /// beginRead and recordOutcome), or fields snapshotted at different
+  /// instants may disagree by one transition. Thread-local Elide windows
+  /// (ThreadState) are deliberately not captured: they are per-process
+  /// scratch that rebuilds within one WindowAttempts window.
+  ElisionSnapshot snapshot() const;
+
+  /// Rehydrates the cell from \p S. Requires quiescence (see snapshot()).
+  /// Returns false — leaving the cell in its cold state — when \p S is
+  /// inconsistent (unknown state, failures exceeding attempts); repairable
+  /// skew (zero or out-of-range windows, exhausted budgets) is clamped
+  /// into the config's bounds instead, so an image captured under a
+  /// different tuning still restores. After a successful restore the lock
+  /// resumes exactly where the image left it: a Disabled lock keeps
+  /// skipping without re-running the cold Elide->...->disable path, a
+  /// Reprobe lock finishes its sample window.
+  bool restore(const ElisionSnapshot &S);
 
 private:
   Decision beginReadSlow(ThreadState &TS, ElisionState St);

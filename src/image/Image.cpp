@@ -1,0 +1,189 @@
+//===- image/Image.cpp - Warm-image serialization format ------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Image.h"
+
+#include <cstdio>
+
+using namespace solero;
+using namespace solero::image;
+
+const char *solero::image::imageDiagName(ImageDiag D) {
+  switch (D) {
+  case ImageDiag::None:
+    return "ok";
+  case ImageDiag::MissingFile:
+    return "missing-file";
+  case ImageDiag::ShortHeader:
+    return "short-header";
+  case ImageDiag::BadMagic:
+    return "bad-magic";
+  case ImageDiag::VersionSkew:
+    return "version-skew";
+  case ImageDiag::Truncated:
+    return "truncated";
+  case ImageDiag::ChecksumMismatch:
+    return "checksum-mismatch";
+  case ImageDiag::MalformedPayload:
+    return "malformed-payload";
+  case ImageDiag::WriteFailed:
+    return "write-failed";
+  }
+  return "?";
+}
+
+std::string Diagnostic::render() const {
+  if (ok())
+    return "warm image ok";
+  std::string S = "warm image rejected (";
+  S += imageDiagName(Code);
+  S += ")";
+  if (!Detail.empty()) {
+    S += ": ";
+    S += Detail;
+  }
+  S += "; falling back to cold start";
+  return S;
+}
+
+uint64_t solero::image::fnv1a(const uint8_t *Data, std::size_t Len) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (std::size_t I = 0; I < Len; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+// --- ImageBuilder ----------------------------------------------------------
+
+void ImageBuilder::addBlob(const std::string &Name,
+                           std::vector<uint8_t> Data) {
+  for (auto &B : Blobs)
+    if (B.first == Name) {
+      B.second = std::move(Data);
+      return;
+    }
+  Blobs.emplace_back(Name, std::move(Data));
+}
+
+std::vector<uint8_t> ImageBuilder::build() const {
+  ImageWriter Payload;
+  Payload.u32(static_cast<uint32_t>(Blobs.size()));
+  for (const auto &B : Blobs) {
+    Payload.str(B.first);
+    Payload.u64(B.second.size());
+    Payload.bytes(B.second.data(), B.second.size());
+  }
+  const std::vector<uint8_t> &P = Payload.data();
+
+  ImageWriter Out;
+  Out.u32(ImageMagic);
+  Out.u32(ImageVersion);
+  Out.u64(P.size());
+  Out.u64(fnv1a(P.data(), P.size()));
+  Out.bytes(P.data(), P.size());
+  return Out.take();
+}
+
+bool ImageBuilder::writeFile(const std::string &Path,
+                             Diagnostic &Diag) const {
+  std::vector<uint8_t> Bytes = build();
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Diag = {ImageDiag::WriteFailed, "cannot open " + Path};
+    return false;
+  }
+  std::size_t N = std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = std::fclose(F) == 0 && N == Bytes.size();
+  if (!Ok)
+    Diag = {ImageDiag::WriteFailed, "short write to " + Path};
+  return Ok;
+}
+
+// --- LoadedImage -----------------------------------------------------------
+
+LoadedImage LoadedImage::fromBytes(const uint8_t *Data, std::size_t Len,
+                                   Diagnostic &Diag) {
+  LoadedImage Img;
+  constexpr std::size_t HeaderLen = 4 + 4 + 8 + 8;
+  if (Len < HeaderLen) {
+    Diag = {ImageDiag::ShortHeader,
+            std::to_string(Len) + " bytes is smaller than the header"};
+    return Img;
+  }
+  ImageReader H(Data, Len);
+  uint32_t Magic = H.u32();
+  uint32_t Version = H.u32();
+  uint64_t PayloadLen = H.u64();
+  uint64_t Checksum = H.u64();
+  if (Magic != ImageMagic) {
+    Diag = {ImageDiag::BadMagic, "not a SOLERO warm image"};
+    return Img;
+  }
+  if (Version != ImageVersion) {
+    Diag = {ImageDiag::VersionSkew,
+            "image version " + std::to_string(Version) + ", runtime speaks " +
+                std::to_string(ImageVersion)};
+    return Img;
+  }
+  if (PayloadLen != Len - HeaderLen) {
+    Diag = {ImageDiag::Truncated,
+            "payload promises " + std::to_string(PayloadLen) + " bytes, " +
+                std::to_string(Len - HeaderLen) + " present"};
+    return Img;
+  }
+  const uint8_t *Payload = Data + HeaderLen;
+  if (fnv1a(Payload, PayloadLen) != Checksum) {
+    Diag = {ImageDiag::ChecksumMismatch, "payload bytes corrupted"};
+    return Img;
+  }
+  ImageReader R(Payload, PayloadLen);
+  uint32_t Count = R.u32();
+  for (uint32_t I = 0; I < Count; ++I) {
+    std::string Name = R.str();
+    uint64_t BlobLen = R.u64();
+    if (R.failed() || BlobLen > R.remaining()) {
+      Diag = {ImageDiag::MalformedPayload,
+              "blob directory entry " + std::to_string(I) + " overruns"};
+      Img.Blobs.clear();
+      return Img;
+    }
+    std::vector<uint8_t> Blob(BlobLen);
+    R.bytesInto(Blob.data(), BlobLen);
+    Img.Blobs.emplace_back(std::move(Name), std::move(Blob));
+  }
+  if (!R.ok()) {
+    Diag = {ImageDiag::MalformedPayload, "trailing bytes after blobs"};
+    Img.Blobs.clear();
+    return Img;
+  }
+  Img.Ok = true;
+  return Img;
+}
+
+LoadedImage LoadedImage::fromFile(const std::string &Path, Diagnostic &Diag) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Diag = {ImageDiag::MissingFile, Path + " cannot be opened"};
+    return LoadedImage();
+  }
+  std::vector<uint8_t> Bytes;
+  uint8_t Buf[4096];
+  std::size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  std::fclose(F);
+  return fromBytes(Bytes, Diag);
+}
+
+const std::vector<uint8_t> *
+LoadedImage::blob(const std::string &Name) const {
+  for (const auto &B : Blobs)
+    if (B.first == Name)
+      return &B.second;
+  return nullptr;
+}

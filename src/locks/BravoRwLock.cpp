@@ -212,6 +212,34 @@ void BravoRwLock::maybeReenableBias() {
   RBias.store(true, std::memory_order_release);
 }
 
+BravoSnapshot BravoRwLock::snapshot() const {
+  BravoSnapshot S;
+  S.RBias = RBias.load(std::memory_order_relaxed);
+  int64_t Until = InhibitUntil.load(std::memory_order_relaxed);
+  if (Until != 0) {
+    int64_t Remaining = Until - nowNs();
+    S.InhibitRemainingNs = Remaining > 0 ? Remaining : 0;
+  }
+  S.Revocations = Revocations.load(std::memory_order_relaxed);
+  return S;
+}
+
+bool BravoRwLock::restore(const BravoSnapshot &S) {
+  if (readerCount() != 0 || Underlying.writeHeldByCurrentThread())
+    return false; // not quiesced: a live hold would race the bias flip
+  if (S.InhibitRemainingNs < 0)
+    return false; // no transition produces a negative remainder
+  Revocations.store(S.Revocations, std::memory_order_relaxed);
+  InhibitUntil.store(
+      S.InhibitRemainingNs > 0 ? nowNs() + S.InhibitRemainingNs : 0,
+      std::memory_order_relaxed);
+  // An image captured with bias on restores warm only if this process's
+  // config still allows bias; release-ordered like maybeReenableBias so
+  // the first biased reader sees fully initialized state.
+  RBias.store(S.RBias && Config.BiasEnabled, std::memory_order_release);
+  return true;
+}
+
 uint32_t BravoRwLock::readerCount() const {
   // Biased readers contribute one per published slot (nested holds on one
   // slot count once); slow-path readers come from the underlying count.

@@ -106,6 +106,16 @@ private:
   std::unique_ptr<std::atomic<uint32_t>[]> HighWater;
 };
 
+/// A quiesced copy of one BravoRwLock's adaptive state, for warm-image
+/// checkpoint/restore (src/image/). The inhibit deadline is serialized as
+/// *remaining* nanoseconds: the absolute steady_clock deadline is
+/// meaningless in another process (or even later in this one).
+struct BravoSnapshot {
+  bool RBias = false;
+  int64_t InhibitRemainingNs = 0;
+  uint64_t Revocations = 0;
+};
+
 /// Reentrant reader-writer lock with BRAVO reader bias over ReadWriteLock.
 /// Same interface and reentrancy semantics as the underlying lock
 /// (including write-to-read downgrade; read-to-write upgrade deadlocks, as
@@ -135,6 +145,17 @@ public:
   uint64_t revocations() const {
     return Revocations.load(std::memory_order_relaxed);
   }
+
+  /// Captures bias/inhibit/revocation state for a warm image. Quiesce
+  /// first (no reader or writer in flight) for a consistent capture.
+  BravoSnapshot snapshot() const;
+
+  /// Rehydrates from \p S. Requires quiescence; refuses (returns false,
+  /// stays cold) while any read hold is visible, since a published biased
+  /// reader must never coexist with a restore-time bias flip. Bias is
+  /// re-enabled only when this lock's config allows it, and the inhibit
+  /// window resumes with the image's remaining duration from *now*.
+  bool restore(const BravoSnapshot &S);
 
   template <typename Fn> decltype(auto) synchronizedWrite(Fn &&F) {
     ThreadState &TS = ThreadRegistry::current();

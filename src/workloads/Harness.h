@@ -39,8 +39,12 @@ struct BenchResult {
   double Seconds = 0;
   ProtocolCounters Delta; ///< protocol counters accumulated in the window
 
-  /// Elision failure ratio (Figure 15): failures / attempts.
+  /// Elision failure ratio (Figure 15): failures / attempts. The explicit
+  /// attempts==0 guard (belt to safeRatio's braces) keeps a zero-attempt
+  /// variant from ever feeding NaN into the JSON emitters.
   double failureRatio() const {
+    if (Delta.ElisionAttempts.value() == 0)
+      return 0.0;
     return safeRatio(Delta.ElisionFailures, Delta.ElisionAttempts);
   }
 
@@ -158,7 +162,9 @@ BenchResult runThroughput(int Threads, const HarnessOptions &Opts, OpFn &&Op) {
     for (uint64_t C : OpCounts)
       R.Ops += C;
     R.Seconds = Secs;
-    R.OpsPerSec = static_cast<double>(R.Ops) / Secs;
+    // Guarded: a degenerate zero-length window (clock quantization under
+    // --window-ms=0) must report 0, not inf/nan, for the JSON emitters.
+    R.OpsPerSec = Secs > 0 ? static_cast<double>(R.Ops) / Secs : 0.0;
     R.Delta = countersDelta(Before, After);
     if (R.OpsPerSec > Best.OpsPerSec)
       Best = R;
