@@ -8,6 +8,7 @@
 # Optional parameters (comma-separated; defaults match the figure benches):
 #   PROTOCOLS   protocols that must each have at least one row
 #   EXTRA_KEYS  additional JSON keys that must appear (KV tail-latency rows)
+#   EXTRA_ARGS  additional CLI flags (the chaos smoke's --chaos --seed=N)
 if(NOT DEFINED PROTOCOLS)
   set(PROTOCOLS "Lock,RWLock,BravoRW,SOLERO")
 endif()
@@ -16,7 +17,12 @@ if(NOT DEFINED EXTRA_KEYS)
   set(EXTRA_KEYS "")
 endif()
 string(REPLACE "," ";" EXTRA_KEYS "${EXTRA_KEYS}")
+if(NOT DEFINED EXTRA_ARGS)
+  set(EXTRA_ARGS "")
+endif()
+string(REPLACE "," ";" EXTRA_ARGS "${EXTRA_ARGS}")
 execute_process(COMMAND ${BENCH} --quick --threads=${THREADS} --json=${JSON}
+                        ${EXTRA_ARGS}
                 OUTPUT_VARIABLE STDOUT
                 RESULT_VARIABLE RC)
 if(NOT RC EQUAL 0)

@@ -167,6 +167,13 @@ void BravoRwLock::writeLock() {
   // cannot overlap any write hold.
   if (RBias.load(std::memory_order_acquire))
     revokeBias();
+  else if (ForcedDrainPending.load(std::memory_order_acquire) &&
+           ForcedDrainPending.exchange(false, std::memory_order_acq_rel))
+    // A watchdog forceRevokeBias() cleared the bias without draining:
+    // readers published before that clear may still be inside their
+    // sections, invisible to the underlying lock. This writer completes
+    // the revocation the watchdog could not block on.
+    BravoReaderTable::instance().waitForReadersOf(this);
 }
 
 void BravoRwLock::writeUnlock() { Underlying.writeUnlock(); }
@@ -186,6 +193,26 @@ void BravoRwLock::revokeBias() {
   if (Inhibit < 1000)
     Inhibit = 1000;
   InhibitUntil.store(nowNs() + Inhibit, std::memory_order_relaxed);
+  Revocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BravoRwLock::forceRevokeBias(int64_t InhibitNs) {
+  // Inhibit first: once RBias drops, any slow-path reader may call
+  // maybeReenableBias(), and it must already see the new deadline or the
+  // forced revocation would bounce straight back.
+  if (InhibitNs < 1000)
+    InhibitNs = 1000;
+  InhibitUntil.store(nowNs() + InhibitNs, std::memory_order_relaxed);
+  // Drain flag before the clear: a writer that observes RBias == false
+  // must also observe the pending drain (release/acquire pairing on the
+  // two flags via the seq_cst exchange below).
+  ForcedDrainPending.store(true, std::memory_order_release);
+  if (!RBias.exchange(false, std::memory_order_seq_cst))
+    return; // already unbiased; the extended inhibit window still holds
+  // Dekker against the reader's {publish; fence; recheck}: the seq_cst
+  // exchange above plays the writer's {clear; fence} role, so a reader
+  // that slipped in biased has a publication the deferred drain scan is
+  // guaranteed to observe.
   Revocations.fetch_add(1, std::memory_order_relaxed);
 }
 

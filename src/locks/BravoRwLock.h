@@ -146,6 +146,18 @@ public:
     return Revocations.load(std::memory_order_relaxed);
   }
 
+  /// Watchdog recovery hook (src/resilience/Watchdog.h): revokes reader
+  /// bias from *outside* the write path and inhibits re-arming for
+  /// \p InhibitNs. Unlike the writer's revokeBias() this does NOT drain
+  /// published readers — the caller is a monitor thread diagnosing a
+  /// stall, and spinning it on the very reader it suspects is stuck
+  /// would hang the watchdog too. Mutual exclusion is preserved by a
+  /// deferred drain: the flag set here makes the *next* writer (which
+  /// must exclude those readers anyway) run the revocation scan even
+  /// though it observes RBias already clear. New readers observe the
+  /// cleared bias and queue on the underlying lock immediately.
+  void forceRevokeBias(int64_t InhibitNs = 50'000'000);
+
   /// Captures bias/inhibit/revocation state for a warm image. Quiesce
   /// first (no reader or writer in flight) for a consistent capture.
   BravoSnapshot snapshot() const;
@@ -184,6 +196,11 @@ private:
   BravoConfig Config;
   ReadWriteLock Underlying;
   std::atomic<bool> RBias{false};
+  /// Set by forceRevokeBias(): published biased readers may still be
+  /// draining, so the next writer must run the table scan even though it
+  /// sees RBias already clear. Consumed (exchange to false) under the
+  /// underlying write lock, so at most one writer pays the scan.
+  std::atomic<bool> ForcedDrainPending{false};
   /// steady_clock ns deadline before which bias must not be re-enabled.
   std::atomic<int64_t> InhibitUntil{0};
   std::atomic<uint64_t> Revocations{0};

@@ -1,0 +1,56 @@
+//===- resilience/Deadline.h - Deadline-aware request helpers ---*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deadline propagation for the KV service (DESIGN.md §17). Every request
+/// carries an absolute deadline derived from its *scheduled* arrival (not
+/// from when a worker finally picked it up), so a request that sat in the
+/// backlog through an overload burst arrives at the dispatch point with
+/// its remaining budget already spent — and is cancelled *before* it
+/// touches a shard lock, converting queued work the client has already
+/// given up on into a cheap structured timeout instead of more load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RESILIENCE_DEADLINE_H
+#define SOLERO_RESILIENCE_DEADLINE_H
+
+#include <cstdint>
+
+namespace solero {
+namespace resilience {
+
+/// An absolute steady-clock deadline in nanoseconds. Zero means "none"
+/// (requests without a budget never expire).
+struct Deadline {
+  uint64_t Ns = 0;
+
+  /// The deadline of a request scheduled to arrive at \p ScheduledNs with
+  /// \p BudgetNs of client patience. Charged from the *scheduled* arrival
+  /// for the same coordinated-omission honesty as the latency accounting:
+  /// queueing delay eats the budget.
+  static Deadline fromScheduled(uint64_t ScheduledNs, uint64_t BudgetNs) {
+    return {BudgetNs == 0 ? 0 : ScheduledNs + BudgetNs};
+  }
+
+  bool unbounded() const { return Ns == 0; }
+
+  /// True when \p NowNs is past the deadline (never for unbounded).
+  bool expired(uint64_t NowNs) const { return Ns != 0 && NowNs > Ns; }
+
+  /// Remaining budget at \p NowNs; 0 when expired, INT64_MAX-ish values
+  /// never occur because unbounded is checked first by callers that care.
+  uint64_t remainingNs(uint64_t NowNs) const {
+    if (Ns == 0 || NowNs >= Ns)
+      return 0;
+    return Ns - NowNs;
+  }
+};
+
+} // namespace resilience
+} // namespace solero
+
+#endif // SOLERO_RESILIENCE_DEADLINE_H

@@ -1,0 +1,87 @@
+//===- resilience/RetryBudget.h - Token-bucket retry budget -----*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-client token-bucket retry budget (DESIGN.md §17). The classic
+/// metastable-failure amplifier is the retry storm: every timed-out
+/// request retries, the retries push latency further past the deadline,
+/// which times out more requests, which retries more — offered load
+/// doubles exactly when the system can least afford it. A retry budget
+/// caps the *ratio* of retries to fresh traffic: tokens refill at a small
+/// fraction of the request rate, a retry spends one, and when the bucket
+/// is dry the request fails fast instead of retrying. Paired with
+/// jittered ExpBackoff (support/Backoff.h) so the retries that are
+/// admitted cannot re-synchronize into waves.
+///
+/// One instance per load-generator thread (the "client"); single-owner by
+/// design, so the arithmetic is plain — no atomics on the request path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RESILIENCE_RETRYBUDGET_H
+#define SOLERO_RESILIENCE_RETRYBUDGET_H
+
+#include <cstdint>
+
+#include "support/Assert.h"
+
+namespace solero {
+namespace resilience {
+
+/// Single-owner token bucket: capacity \p Burst tokens, refilling at
+/// \p TokensPerSec, one token per granted retry.
+class RetryBudget {
+public:
+  RetryBudget(double TokensPerSec, double Burst, uint64_t NowNs)
+      : RatePerNs(TokensPerSec * 1e-9), Cap(Burst), Tokens(Burst),
+        LastNs(NowNs) {
+    SOLERO_CHECK(TokensPerSec > 0.0 && Burst >= 1.0,
+                 "RetryBudget needs a positive rate and at least one token");
+  }
+
+  /// Grants one retry if the bucket holds a full token at \p NowNs.
+  bool tryAcquire(uint64_t NowNs) {
+    refill(NowNs);
+    if (Tokens < 1.0) {
+      ++DeniedCount;
+      return false;
+    }
+    Tokens -= 1.0;
+    ++GrantedCount;
+    return true;
+  }
+
+  /// Tokens currently available (after refilling to \p NowNs).
+  double available(uint64_t NowNs) {
+    refill(NowNs);
+    return Tokens;
+  }
+
+  uint64_t granted() const { return GrantedCount; }
+  uint64_t denied() const { return DeniedCount; }
+
+private:
+  void refill(uint64_t NowNs) {
+    if (NowNs <= LastNs)
+      return; // a backwards clock observation must not drain the bucket
+    Tokens += static_cast<double>(NowNs - LastNs) * RatePerNs;
+    if (Tokens > Cap)
+      Tokens = Cap;
+    LastNs = NowNs;
+  }
+
+  double RatePerNs;
+  double Cap;
+  double Tokens;
+  uint64_t LastNs;
+  uint64_t GrantedCount = 0;
+  uint64_t DeniedCount = 0;
+};
+
+} // namespace resilience
+} // namespace solero
+
+#endif // SOLERO_RESILIENCE_RETRYBUDGET_H

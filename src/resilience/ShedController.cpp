@@ -1,0 +1,61 @@
+//===- resilience/ShedController.cpp - Admission control ------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "resilience/ShedController.h"
+
+using namespace solero;
+using namespace solero::resilience;
+
+const char *solero::resilience::opPriorityName(OpPriority P) {
+  switch (P) {
+  case OpPriority::Scan:
+    return "Scan";
+  case OpPriority::Get:
+    return "Get";
+  case OpPriority::Mutate:
+    return "Mutate";
+  }
+  return "?";
+}
+
+void ShedController::onWindow(uint64_t P99Ns, uint64_t BacklogNs) {
+  ++Windows;
+  uint32_t Cur = Level.load(std::memory_order_relaxed);
+  if (Cur != 0)
+    ++Degraded;
+  bool Breach = P99Ns >= Cfg.SloP99Ns || BacklogNs >= Cfg.BacklogBreachNs;
+  // Healthy is strictly harder than !Breach: p99 under the re-admit line
+  // AND backlog at half the breach line. A window that lands between the
+  // thresholds is the hysteresis band — both streaks reset and the level
+  // holds, so a p99 oscillating around the SLO cannot flap the level.
+  bool Healthy = (P99Ns == 0 || P99Ns <= static_cast<uint64_t>(
+                                    static_cast<double>(Cfg.SloP99Ns) *
+                                    Cfg.ReadmitRatio)) &&
+                 BacklogNs < Cfg.BacklogBreachNs / 2;
+  if (Breach) {
+    ClearRun = 0;
+    if (++BreachRun >= Cfg.BreachStreak) {
+      BreachRun = 0;
+      if (Cur < MaxLevel) {
+        Level.store(Cur + 1, std::memory_order_relaxed);
+        ++Ups;
+      }
+    }
+    return;
+  }
+  BreachRun = 0;
+  if (!Healthy) {
+    ClearRun = 0;
+    return;
+  }
+  if (++ClearRun >= Cfg.ClearStreak) {
+    ClearRun = 0;
+    if (Cur > 0) {
+      Level.store(Cur - 1, std::memory_order_relaxed);
+      ++Downs;
+    }
+  }
+}

@@ -1,0 +1,113 @@
+//===- resilience/ShedController.h - Admission control ----------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Priority-ordered load shedding with hysteresis (DESIGN.md §17). A
+/// monitor thread feeds the controller one observation per window — the
+/// p99 of requests admitted in that window plus the worst scheduled-
+/// arrival backlog across the load generators — and the controller moves
+/// a small shed *level*:
+///
+///   level 0   admit everything (healthy)
+///   level 1   shed SCAN   (whole-shard read sections: the most work per
+///                          request and the least per-request value)
+///   level 2   shed GET too (only mutations still admitted; mutations are
+///                           never shed so client-visible writes — and the
+///                           torture oracles riding on them — stay exact)
+///
+/// The same "detect pathology, degrade, recover" discipline the elision
+/// controller applies to speculation (core/ElisionController.h), lifted
+/// to the service layer. Hysteresis has two parts: a level change needs a
+/// *streak* of consecutive breached (or healthy) windows, and the healthy
+/// threshold sits well below the breach threshold, so a p99 hovering at
+/// the SLO cannot make the controller flap between admit and shed every
+/// window.
+///
+/// admit() is the request-path side: one relaxed load and a compare, safe
+/// from any number of workers concurrently with the monitor's onWindow().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_RESILIENCE_SHEDCONTROLLER_H
+#define SOLERO_RESILIENCE_SHEDCONTROLLER_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace solero {
+namespace resilience {
+
+/// Request priorities, lowest shed first. The numeric value is the shed
+/// level at which the class is *still admitted*: class P survives while
+/// level <= P.
+enum class OpPriority : uint8_t {
+  Scan = 0,   ///< first to go: broadest read sections, cheapest to drop
+  Get = 1,    ///< point reads
+  Mutate = 2, ///< PUT/DELETE: never shed (level is capped below 3)
+};
+
+const char *opPriorityName(OpPriority P);
+
+struct ShedConfig {
+  /// p99 SLO for admitted requests; a window at or above this breaches.
+  uint64_t SloP99Ns = 2'000'000;
+  /// A window is *healthy* (counts toward re-admission) only when p99 is
+  /// at or below SloP99Ns * ReadmitRatio — the gap is the hysteresis band.
+  double ReadmitRatio = 0.5;
+  /// Worst per-worker scheduled-arrival backlog that breaches on its own:
+  /// queue depth leads latency, so this fires before the p99 does.
+  uint64_t BacklogBreachNs = 20'000'000;
+  /// Consecutive breached windows before the level rises.
+  uint32_t BreachStreak = 2;
+  /// Consecutive healthy windows before the level falls (re-admission is
+  /// deliberately slower than shedding).
+  uint32_t ClearStreak = 4;
+};
+
+/// Shared shed state: workers consult admit(), one monitor thread drives
+/// onWindow(). Max level 2 — mutations are never shed.
+class ShedController {
+public:
+  static constexpr uint32_t MaxLevel = 2;
+
+  explicit ShedController(ShedConfig Cfg) : Cfg(Cfg) {}
+
+  /// Request-path admission check: true when priority \p P is currently
+  /// admitted. Lock-free; called by every worker per request.
+  bool admit(OpPriority P) const {
+    return static_cast<uint32_t>(P) >= Level.load(std::memory_order_relaxed);
+  }
+
+  /// One monitoring window's verdict: \p P99Ns of admitted requests (0
+  /// when the window recorded nothing — treated as healthy, an idle
+  /// service must re-admit) and \p BacklogNs, the worst scheduled-arrival
+  /// lag across workers. Single-caller (the monitor thread).
+  void onWindow(uint64_t P99Ns, uint64_t BacklogNs);
+
+  uint32_t level() const { return Level.load(std::memory_order_relaxed); }
+  uint64_t levelUps() const { return Ups; }
+  uint64_t levelDowns() const { return Downs; }
+  uint64_t windows() const { return Windows; }
+  /// Windows spent at a nonzero level (degraded-mode residency).
+  uint64_t degradedWindows() const { return Degraded; }
+
+  const ShedConfig &config() const { return Cfg; }
+
+private:
+  ShedConfig Cfg;
+  std::atomic<uint32_t> Level{0};
+  uint32_t BreachRun = 0;
+  uint32_t ClearRun = 0;
+  uint64_t Ups = 0;
+  uint64_t Downs = 0;
+  uint64_t Windows = 0;
+  uint64_t Degraded = 0;
+};
+
+} // namespace resilience
+} // namespace solero
+
+#endif // SOLERO_RESILIENCE_SHEDCONTROLLER_H

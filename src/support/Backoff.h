@@ -20,6 +20,8 @@
 #include <immintrin.h>
 #endif
 
+#include "support/Rng.h"
+
 namespace solero {
 
 /// Hints the CPU that the caller is spin-waiting.
@@ -53,34 +55,89 @@ inline void spinTier1(int Iterations) {
     cpuRelax();
 }
 
+/// How ExpBackoff spreads its waits. Deterministic doubling synchronizes:
+/// N clients that collided once will wake together, collide again, and
+/// double together — a retry wave that never decorrelates. The jittered
+/// modes (AWS Architecture Blog, "Exponential backoff and jitter",
+/// Brooker 2015) break the lockstep:
+///
+///   None          — classic doubling; the pre-existing behavior and the
+///                   default, so lock-internal call sites stay untouched.
+///   FullJitter    — sleep = uniform[1, Cur]; Cur still doubles. Best
+///                   spread, at the cost of occasionally near-zero waits.
+///   Decorrelated  — sleep = uniform[Min, Prev*3] clamped to Max; each
+///                   wait feeds the next, so streams drift apart even when
+///                   seeded alike but consumed at different rates.
+enum class JitterMode : uint8_t { None, FullJitter, Decorrelated };
+
 /// Bounded exponential backoff for optimistic-retry loops (the BRAVO /
 /// Fissile-lock recipe): each pause() busy-waits twice as long as the
 /// previous one, clamped to [MinSpins, MaxSpins] cpuRelax() iterations.
 /// Used by the adaptive elision controller between speculation retries so
 /// a conflicting writer gets a widening window to drain before the reader
-/// burns another failed attempt.
+/// burns another failed attempt, and by the KV service retry budget with
+/// jitter enabled so shed-then-retried requests cannot self-synchronize.
 class ExpBackoff {
 public:
-  explicit ExpBackoff(int MinSpins = 16, int MaxSpins = 1024)
+  explicit ExpBackoff(int MinSpins = 16, int MaxSpins = 1024,
+                      JitterMode Jitter = JitterMode::None,
+                      uint64_t Seed = 0x9E3779B97F4A7C15ull)
       : Min(MinSpins < 1 ? 1 : MinSpins),
-        Max(MaxSpins < Min ? Min : MaxSpins), Cur(Min) {}
+        Max(MaxSpins < Min ? Min : MaxSpins), Cur(Min), Jitter(Jitter),
+        Rng(Seed) {}
 
-  /// Busy-waits for the current interval, then doubles it (saturating).
-  void pause() {
-    spinTier1(Cur);
-    Cur = Cur > Max / 2 ? Max : Cur * 2;
+  /// Busy-waits for the mode's current interval, then advances the state
+  /// (saturating at Max).
+  void pause() { spinTier1(nextSpins()); }
+
+  /// The wait the next pause() would perform, advancing the backoff state
+  /// exactly as pause() would. Exposed so callers that wait by sleeping or
+  /// parking (rather than spinning) — and the jitter-bounds unit tests —
+  /// can consume the same schedule.
+  int nextSpins() {
+    int Wait = Cur;
+    switch (Jitter) {
+    case JitterMode::None:
+      Cur = Cur > Max / 2 ? Max : Cur * 2;
+      break;
+    case JitterMode::FullJitter:
+      // Uniform in [1, Cur]; the deterministic ceiling keeps doubling.
+      Wait = 1 + static_cast<int>(Rng.nextBounded(static_cast<uint64_t>(Cur)));
+      Cur = Cur > Max / 2 ? Max : Cur * 2;
+      break;
+    case JitterMode::Decorrelated: {
+      // Uniform in [Min, min(Max, Prev*3)]; the drawn wait becomes the
+      // next round's Prev, so the walk itself is randomized.
+      int64_t Ceil = static_cast<int64_t>(Cur) * 3;
+      if (Ceil > Max)
+        Ceil = Max;
+      Wait = Min + static_cast<int>(
+                       Rng.nextBounded(static_cast<uint64_t>(Ceil - Min + 1)));
+      Cur = Wait;
+      break;
+    }
+    }
+    return Wait;
   }
 
   /// Returns to the minimum interval (call after a success).
   void reset() { Cur = Min; }
 
-  /// The spin count the next pause() will use.
+  /// The deterministic backoff state (the FullJitter ceiling /
+  /// Decorrelated previous draw). For JitterMode::None this is exactly
+  /// the spin count the next pause() will use.
   int currentSpins() const { return Cur; }
+
+  JitterMode jitterMode() const { return Jitter; }
+  int minSpins() const { return Min; }
+  int maxSpins() const { return Max; }
 
 private:
   int Min;
   int Max;
   int Cur;
+  JitterMode Jitter;
+  Xoshiro256StarStar Rng;
 };
 
 } // namespace solero

@@ -114,6 +114,86 @@ private:
   double MeanGapNs;
 };
 
+/// Stateful open-loop arrival schedule over a PoissonProcess, with
+/// *bounded catch-up* instead of re-anchoring.
+///
+/// The coordinated-omission hazard: a generator that falls behind (an
+/// injected stall, a long GC-like pause, a chaos fault) and silently
+/// resets its schedule to "now" erases exactly the queueing delay the
+/// open-loop design exists to expose — every request issued after the
+/// stall looks punctual. This schedule never re-anchors. Arrivals keep
+/// their scheduled timestamps; after a stall the generator issues the
+/// backlog as a catch-up burst, each request still charged from its
+/// scheduled arrival, so the stall shows up in the tail honestly.
+///
+/// Unbounded catch-up has its own pathology: a multi-second stall at a
+/// high offered rate would queue millions of arrivals and spend the rest
+/// of the run draining them. So the backlog is *bounded*: when the
+/// schedule falls more than CatchUpBurstMax mean gaps behind "now", the
+/// excess arrivals are skipped — sampled through the same RNG stream so
+/// determinism holds, and **counted** in skippedArrivals() so the report
+/// can say "this generator shed N arrivals" instead of pretending they
+/// never existed. The most recent CatchUpBurstMax arrivals always survive
+/// to be issued late, which is what keeps the tail honest.
+class ArrivalSchedule {
+public:
+  /// \p StartNs anchors the schedule; the first arrival is one sampled
+  /// gap after it. \p CatchUpBurstMax bounds the backlog in *mean gaps*
+  /// (approximately: arrivals).
+  ArrivalSchedule(const PoissonProcess &Proc, uint64_t StartNs,
+                  Xoshiro256StarStar &Rng, uint64_t CatchUpBurstMax = 1024)
+      : Proc(Proc), Next(StartNs + Proc.nextGapNs(Rng)),
+        BacklogBoundNs(static_cast<uint64_t>(
+            Proc.meanGapNs() * static_cast<double>(CatchUpBurstMax))) {}
+
+  /// The scheduled timestamp of the next arrival (the time latency is
+  /// charged from).
+  uint64_t nextArrivalNs() const { return Next; }
+
+  /// Advances past the current arrival. \p Compression > 1 shrinks the
+  /// sampled gap (burst phases); the RNG consumption is one value either
+  /// way, so seeded streams stay aligned.
+  void advance(Xoshiro256StarStar &Rng, double Compression = 1.0) {
+    uint64_t Gap = Proc.nextGapNs(Rng);
+    if (Compression > 1.0) {
+      Gap = static_cast<uint64_t>(static_cast<double>(Gap) / Compression);
+      if (Gap == 0)
+        Gap = 1;
+    }
+    Next += Gap;
+  }
+
+  /// Enforces the backlog bound against \p NowNs: skips (and counts)
+  /// arrivals until the schedule is within CatchUpBurstMax mean gaps of
+  /// now. Returns the number skipped by this call. Call once per
+  /// dispatch loop iteration; in the common punctual case it is two
+  /// compares.
+  uint64_t boundBacklog(uint64_t NowNs, Xoshiro256StarStar &Rng) {
+    if (NowNs <= Next || NowNs - Next <= BacklogBoundNs)
+      return 0;
+    const uint64_t Target = NowNs - BacklogBoundNs;
+    uint64_t SkippedNow = 0;
+    while (Next < Target) {
+      Next += Proc.nextGapNs(Rng);
+      ++SkippedNow;
+    }
+    Skipped += SkippedNow;
+    return SkippedNow;
+  }
+
+  /// Total arrivals shed by boundBacklog() — the honest ledger of what
+  /// the generator could not deliver late.
+  uint64_t skippedArrivals() const { return Skipped; }
+
+  uint64_t backlogBoundNs() const { return BacklogBoundNs; }
+
+private:
+  const PoissonProcess &Proc;
+  uint64_t Next;
+  uint64_t BacklogBoundNs;
+  uint64_t Skipped = 0;
+};
+
 } // namespace solero
 
 #endif // SOLERO_SUPPORT_DISTRIBUTIONS_H

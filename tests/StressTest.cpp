@@ -46,9 +46,17 @@ TEST(Stress, TasukiInflationChurnKeepsExclusion) {
   ObjectHeader H;
   constexpr int Threads = 6, Iters = 3000;
   int64_t Plain = 0;
+  // Start gate: without it a thread can burn all its iterations before
+  // the next one spawns (thread creation is slow under TSan on one
+  // vCPU), leaving the lock uncontended and the Inflations expectation
+  // below timing-dependent.
+  std::atomic<int> Ready{0};
   std::vector<std::thread> Ts;
   for (int T = 0; T < Threads; ++T)
     Ts.emplace_back([&] {
+      Ready.fetch_add(1, std::memory_order_acq_rel);
+      while (Ready.load(std::memory_order_acquire) < Threads)
+        std::this_thread::yield();
       for (int I = 0; I < Iters; ++I)
         L.synchronizedWrite(H, [&] { ++Plain; });
     });
