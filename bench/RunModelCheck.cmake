@@ -1,0 +1,36 @@
+# Runs bench/model_check twice with identical flags and enforces both the
+# expected exit code (0 for shipped protocols, 1 for the seeded-bug
+# variants — an exact match, so a crash can never masquerade as the
+# expected failure) and byte-identical stdout across the two runs (the
+# determinism contract renderSummary/renderTrace promise: no timing, no
+# addresses, no iteration-order leaks).
+#
+# Usage:
+#   cmake -DMODEL_CHECK=<exe> -DARGS=<comma-separated flags>
+#         -DEXPECTED_RC=<n> -DOUT=<scratch file stem> -P RunModelCheck.cmake
+
+if(NOT MODEL_CHECK OR NOT OUT OR NOT DEFINED EXPECTED_RC)
+  message(FATAL_ERROR "RunModelCheck.cmake: MODEL_CHECK, OUT and EXPECTED_RC "
+                      "are required")
+endif()
+
+string(REPLACE "," ";" ARG_LIST "${ARGS}")
+
+foreach(PASS 1 2)
+  execute_process(COMMAND ${MODEL_CHECK} ${ARG_LIST}
+                  OUTPUT_FILE ${OUT}.${PASS}
+                  RESULT_VARIABLE RC)
+  if(NOT RC EQUAL ${EXPECTED_RC})
+    file(READ ${OUT}.${PASS} BODY)
+    message(FATAL_ERROR "model_check ${ARGS} (run ${PASS}) exited ${RC}, "
+                        "expected ${EXPECTED_RC}\n${BODY}")
+  endif()
+endforeach()
+
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}.1 ${OUT}.2
+                RESULT_VARIABLE SAME)
+if(NOT SAME EQUAL 0)
+  message(FATAL_ERROR "model_check ${ARGS} is nondeterministic: two runs "
+                      "with identical flags produced different output "
+                      "(${OUT}.1 vs ${OUT}.2)")
+endif()

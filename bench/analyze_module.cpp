@@ -30,7 +30,7 @@ using namespace solero::jit;
 
 namespace {
 
-void report(const char *Name, const Module &M) {
+std::size_t report(const char *Name, const Module &M) {
   ClassifiedModule C = classifyModule(M);
   std::printf("== module %s ==\n", Name);
   unsigned Total = 0, Elidable = 0, BenignWrites = 0;
@@ -58,6 +58,7 @@ void report(const char *Name, const Module &M) {
   std::printf("summary: %u regions, %u elidable, %u benign writes, %zu race "
               "warnings\n\n",
               Total, Elidable, BenignWrites, Races.size());
+  return Races.size();
 }
 
 } // namespace
@@ -70,11 +71,15 @@ int main(int Argc, char **Argv) {
   };
   std::printf("solero analyze_module — Section 3.2 elidability and guest "
               "race report\n\n");
+  std::size_t Races = 0;
   if (Want("config"))
-    report("config", bench::buildConfigGuest());
+    Races += report("config", bench::buildConfigGuest());
   if (Want("snapshot"))
-    report("snapshot", bench::buildSnapshotGuest());
+    Races += report("snapshot", bench::buildSnapshotGuest());
   if (Want("racy"))
-    report("racy", bench::buildRacyCounterGuest());
-  return 0;
+    Races += report("racy", bench::buildRacyCounterGuest());
+  // Race findings fail the build: CI runs the clean guests expecting 0 and
+  // the seeded racy guest expecting 1, so the detector regressing in
+  // either direction is caught by exit code alone.
+  return Races != 0 ? 1 : 0;
 }

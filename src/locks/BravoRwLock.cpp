@@ -57,7 +57,8 @@ BravoReaderTable::Slot &BravoReaderTable::slotFor(const void *Lock) {
     uint32_t Cur = HW.load(std::memory_order_relaxed);
     while (Cur < TS.slot() + 1 &&
            !HW.compare_exchange_weak(Cur, TS.slot() + 1,
-                                     std::memory_order_acq_rel))
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed))
       ;
   }
   uint64_t H =

@@ -1,0 +1,71 @@
+//===- verify/Trace.cpp - Counterexample trace rendering ------------------===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+
+#include "verify/Trace.h"
+
+#include <cstdio>
+
+using namespace solero;
+using namespace solero::verify;
+
+std::string solero::verify::renderSummary(const ProtocolModel &M,
+                                          const char *Variant,
+                                          const CheckConfig &C,
+                                          const CheckResult &R) {
+  const char *V = R.V == Verdict::Pass         ? "PASS"
+                  : R.V == Verdict::Violation ? "VIOLATION"
+                                              : "INCOMPLETE";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "model=%s mem=%s variant=%s por=%s: %s states=%llu "
+                "transitions=%llu depth=%u",
+                M.name(), memSemanticsName(C.Mem), Variant,
+                C.SleepSets ? "sleep" : "none", V,
+                static_cast<unsigned long long>(R.StatesVisited),
+                static_cast<unsigned long long>(R.TransitionsTaken),
+                R.MaxDepth);
+  return Buf;
+}
+
+std::string solero::verify::renderTrace(const ProtocolModel &M,
+                                        const CheckConfig &C,
+                                        const CheckResult &R) {
+  if (R.V != Verdict::Violation)
+    return "";
+  std::string Out = "counterexample (";
+  Out += M.name();
+  Out += ", ";
+  Out += memSemanticsName(C.Mem);
+  Out += "): ";
+  Out += R.ViolationKind ? R.ViolationKind : "unspecified violation";
+  Out += "\n";
+
+  McState S;
+  S.clear();
+  M.init(S);
+  char Line[192];
+  std::snprintf(Line, sizeof(Line), "  init              | %s\n",
+                M.renderState(S).c_str());
+  Out += Line;
+  unsigned N = 0;
+  for (const TraceStep &T : R.Trace) {
+    if (T.Flush) {
+      applyFlush(S, T.Tid);
+    } else {
+      Mach Mc(S, T.Tid, C.Mem);
+      const char *Label = nullptr;
+      bool Enabled = M.step(S, T.Tid, Mc, &Label);
+      if (!Enabled) {
+        Out += "  <trace replay desynchronized>\n";
+        break;
+      }
+    }
+    std::snprintf(Line, sizeof(Line), "  step %2u  T%u %-14s | %s\n", ++N,
+                  T.Tid, T.Label, M.renderState(S).c_str());
+    Out += Line;
+  }
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- verify/Trace.h - Counterexample trace rendering ----------*- C++ -*-===//
+//
+// Part of the SOLERO reproduction (PLDI 2010).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic rendering of checker results: a one-line summary per run
+/// and, for violations, the minimized counterexample replayed step by step
+/// with the model's shared-state annotation after every action. Shared by
+/// `bench/model_check` and ModelCheckerTest (which golden-diffs the
+/// blind-store FLC trace against an embedded expected string).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SOLERO_VERIFY_TRACE_H
+#define SOLERO_VERIFY_TRACE_H
+
+#include <string>
+
+#include "verify/Checker.h"
+#include "verify/Mc.h"
+
+namespace solero {
+namespace verify {
+
+/// `model=<name> mem=<SC|TSO> variant=<v>: PASS states=... transitions=...
+/// depth=...` (or VIOLATION/INCOMPLETE). No timing — byte-identical across
+/// runs, so CI can `cmp` two invocations.
+std::string renderSummary(const ProtocolModel &M, const char *Variant,
+                          const CheckConfig &C, const CheckResult &R);
+
+/// Full counterexample: header with the broken oracle, then one line per
+/// scheduled action (`step N Tx <label> | <state>`), replayed from the
+/// model's initial state. Returns an empty string when R passed.
+std::string renderTrace(const ProtocolModel &M, const CheckConfig &C,
+                        const CheckResult &R);
+
+} // namespace verify
+} // namespace solero
+
+#endif // SOLERO_VERIFY_TRACE_H
